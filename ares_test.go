@@ -1,0 +1,58 @@
+package ares
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := NewPipeline(Config{
+		Mission:  SquareMission(25, 10),
+		Missions: 2,
+		Seed:     7,
+	})
+	if err := p.Analyze(); err == nil {
+		t.Fatal("Analyze before Profile accepted")
+	}
+	if err := p.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	tsvl := p.TSVL()
+	if len(tsvl) == 0 {
+		t.Fatal("empty TSVL")
+	}
+	if len(p.Groups()) != 3 || p.Roll() == nil {
+		t.Fatalf("groups=%d roll=%v", len(p.Groups()), p.Roll())
+	}
+	var buf bytes.Buffer
+	if err := p.Report().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("report missing Table II")
+	}
+}
+
+func TestPipelineExploitSmoke(t *testing.T) {
+	p := NewPipeline(Config{Seed: 9})
+	res, err := p.TrainDeviationExploit("PIDR.INTEG", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Train.Episodes != 3 {
+		t.Errorf("episodes = %d", res.Train.Episodes)
+	}
+}
+
+func TestMissionHelpers(t *testing.T) {
+	if SquareMission(10, 5).Len() != 5 {
+		t.Error("square mission")
+	}
+	if LineMission(10, 5).Len() != 2 {
+		t.Error("line mission")
+	}
+}

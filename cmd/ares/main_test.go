@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/dataflash"
+	"github.com/ares-cps/ares/internal/firmware"
+)
+
+func TestAresPipelineQuick(t *testing.T) {
+	if err := run([]string{"-missions", "1", "-seed", "5", "-heatmap"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAresExploitQuick(t *testing.T) {
+	if err := run([]string{
+		"-missions", "1", "-seed", "6",
+		"-exploit", "PIDR.INTEG", "-episodes", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAresFromLog(t *testing.T) {
+	// Record a log with logdump's sibling machinery via the firmware.
+	path := filepath.Join(t.TempDir(), "f.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dataflash.NewWriter(f)
+	fw, err := firmware.New(firmware.Config{LogWriter: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	fw.RunFor(10)
+	fw.LoadMission(firmware.SquareMission(25, 10))
+	if err := fw.StartMission(); err != nil {
+		t.Fatal(err)
+	}
+	fw.RunFor(40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"-fromlog", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fromlog", "/nonexistent"}); err == nil {
+		t.Error("missing log accepted")
+	}
+}
+
+func TestAresBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

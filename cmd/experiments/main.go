@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp id] [-seed S] [-quick] [-csv DIR]
+//
+// With no -exp it runs every experiment in the paper's order. Experiment ids:
+// table1, table2, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ares-cps/ares/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "", "run only this experiment id (default: all)")
+	seed := fs.Int64("seed", 42, "random seed")
+	quick := fs.Bool("quick", false, "reduced trial counts and training budgets")
+	csvDir := fs.String("csv", "", "also export CSV data into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := experiments.NewSuite(*seed, *quick)
+	runOne := func(id string, runner experiments.Runner) error {
+		start := time.Now()
+		res, err := runner(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n", id, time.Since(start).Seconds())
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := res.WriteCSV(*csvDir); err != nil {
+				return fmt.Errorf("%s csv: %w", id, err)
+			}
+		}
+		return nil
+	}
+
+	if *exp != "" {
+		runner, err := experiments.Lookup(*exp)
+		if err != nil {
+			return err
+		}
+		return runOne(*exp, runner)
+	}
+	for _, e := range experiments.Registry() {
+		if err := runOne(e.ID, e.Run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

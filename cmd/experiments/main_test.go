@@ -1,0 +1,23 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestExperimentsSingleQuick(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "table1", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no CSV exported: %v", err)
+	}
+}
+
+func TestExperimentsUnknownID(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

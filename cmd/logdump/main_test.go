@@ -1,0 +1,38 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLogdumpRecordAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.bin")
+	if err := run([]string{"-record", path, "-seconds", "15", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-summary", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-series", path, "-var", "ATT.Roll"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dump", path, "-filter", "MODE"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogdumpErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-summary", "/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := run([]string{"-record", path, "-seconds", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-series", path, "-var", "NOPE.VAR"}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServeAndConnect runs a vehicle server and a GCS client end to end over
+// a real TCP connection: takeoff, parameter write, parameter read-back and
+// telemetry watch.
+func TestServeAndConnect(t *testing.T) {
+	// Pick a free port first so the client knows where to go.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		serverDone <- run([]string{"-serve", addr, "-seconds", "60"})
+	}()
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not come up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The probe connection above was consumed by the single-connection
+	// server; restart it for the real client.
+	<-serverDone
+	go func() {
+		serverDone <- run([]string{"-serve", addr, "-seconds", "60"})
+	}()
+	time.Sleep(300 * time.Millisecond)
+
+	if err := run([]string{
+		"-connect", addr,
+		"-takeoff", "8",
+		"-param", "ATC_RAT_RLL_P", "-value", "0.2", "-set",
+		"-watch", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serverDone:
+		// EOF after the client hangs up is a clean outcome.
+		if err != nil {
+			t.Logf("server exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after client disconnect")
+	}
+}
+
+func TestNoActionErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no action accepted")
+	}
+}

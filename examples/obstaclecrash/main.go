@@ -1,0 +1,85 @@
+// Case Study II (controlled failure): train the reinforcement-learning
+// agent to steer the vehicle into a forbidden zone by offsetting the
+// navigator→stabilizer roll command, then replay the learned policy.
+//
+//	go run ./examples/obstaclecrash [-episodes 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/ares-cps/ares/internal/core"
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/rl"
+	"github.com/ares-cps/ares/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obstaclecrash:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	episodes := flag.Int("episodes", 120, "training episodes")
+	flag.Parse()
+
+	// A forbidden zone 8 m beside the mission's final loiter point.
+	zone := sim.Obstacle{
+		Name: "forbidden-zone",
+		Box: mathx.AABB{
+			Min: mathx.V3(35, 8, -20),
+			Max: mathx.V3(45, 12, 0),
+		},
+	}
+	env, err := core.NewCrashEnv(core.EnvConfig{
+		Variable:  "CMD.Roll",
+		PerTick:   true, // standing offset on the per-cycle command cell
+		MaxAction: 0.6,
+		Mission:   firmware.LineMission(40, 10),
+		Seed:      9,
+	}, zone)
+	if err != nil {
+		return err
+	}
+
+	lo, hi := env.ActionBounds()
+	agent := rl.NewReinforce(env.ObservationSize(), lo, hi, 2)
+	fmt.Printf("training %d episodes (standing roll-command offsets up to ±%.1f rad)…\n",
+		*episodes, hi)
+	res := agent.Train(env, *episodes, 120)
+	fmt.Printf("best return %.2f at episode %d\n\n", res.BestReturn, res.BestEpisode)
+
+	fmt.Println("replaying the greedy policy:")
+	obs := env.Reset()
+	minDist := math.Inf(1)
+	for step := 0; step < 120; step++ {
+		action := agent.Policy.Mean(obs)
+		next, reward, done := env.Step(action)
+		obs = next
+		if d := env.GoalDistance(); d < minDist {
+			minDist = d
+		}
+		if step%10 == 0 {
+			fmt.Printf("  t=%5.1fs offset=%+.2f rad dist-to-zone=%6.2f m\n",
+				float64(step)*0.3, action, env.GoalDistance())
+		}
+		if done {
+			if math.IsInf(reward, 1) {
+				fmt.Println("  >>> contact with the forbidden zone")
+			}
+			break
+		}
+	}
+	fmt.Printf("closest approach: %.2f m", minDist)
+	if crashed, reason := env.Firmware().Quad().Crashed(); crashed {
+		fmt.Printf(" — vehicle lost (%s)", reason)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,81 @@
+// Case Study I (uncontrolled failure): train the reinforcement-learning
+// agent to deviate the vehicle from its mission path by manipulating the
+// roll-rate PID integrator inside the compromised stabilizer memory region,
+// then replay the learned policy and report the deviation profile.
+//
+//	go run ./examples/pathdeviation [-episodes 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ares-cps/ares/internal/core"
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/rl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pathdeviation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	episodes := flag.Int("episodes", 120, "training episodes")
+	flag.Parse()
+
+	env, err := core.NewDeviationEnv(core.EnvConfig{
+		Variable: "PIDR.INTEG", // from the roll TSVL
+		Mission:  firmware.LineMission(60, 10),
+		Seed:     7,
+	})
+	if err != nil {
+		return err
+	}
+
+	lo, hi := env.ActionBounds()
+	agent := rl.NewReinforce(env.ObservationSize(), lo, hi, 1)
+	fmt.Printf("training %d episodes (action: ±%.2f on PIDR.INTEG every 0.3 s)…\n",
+		*episodes, hi)
+	res := agent.Train(env, *episodes, 100)
+
+	fifth := *episodes / 5
+	if fifth < 1 {
+		fifth = 1
+	}
+	early, late := mean(res.Returns[:fifth]), res.MeanLastN(fifth)
+	fmt.Printf("learning curve: first-fifth mean return %.2f → last-fifth %.2f (best %.2f @ episode %d)\n",
+		early, late, res.BestReturn, res.BestEpisode)
+
+	fmt.Println("\nreplaying the greedy policy:")
+	obs := env.Reset()
+	for step := 0; step < 100; step++ {
+		action := agent.Policy.Mean(obs)
+		next, _, done := env.Step(action)
+		obs = next
+		if step%10 == 0 {
+			fmt.Printf("  t=%4.1fs action=%+.3f deviation=%6.2f m\n",
+				float64(step)*0.3, action, env.PathDistance())
+		}
+		if done {
+			break
+		}
+	}
+	fmt.Printf("final deviation: %.2f m", env.PathDistance())
+	if crashed, reason := env.Firmware().Quad().Crashed(); crashed {
+		fmt.Printf(" (vehicle crashed: %s)", reason)
+	}
+	fmt.Println()
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

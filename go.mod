@@ -1,0 +1,3 @@
+module github.com/ares-cps/ares
+
+go 1.22

@@ -1,0 +1,233 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/firmware"
+)
+
+func TestNaiveAttackRequiresRegionAccess(t *testing.T) {
+	fw, err := NewFirmware(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correct region: succeeds.
+	a := &NaiveAttack{Region: firmware.RegionStabilizer, Variable: "PIDR.INTEG", Value: 1}
+	if err := a.Begin(fw); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong region: the MPU denies the write capability.
+	b := &NaiveAttack{Region: firmware.RegionDrivers, Variable: "PIDR.INTEG", Value: 1}
+	if err := b.Begin(fw); err == nil {
+		t.Error("cross-region attack target accepted")
+	}
+	// Unknown variable.
+	c := &NaiveAttack{Region: firmware.RegionStabilizer, Variable: "NOPE", Value: 1}
+	if err := c.Begin(fw); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestGradualAttackIntervalAndCap(t *testing.T) {
+	fw, err := NewFirmware(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &GradualAttack{
+		Region:   firmware.RegionStabilizer,
+		Variable: "PIDR.INTEG",
+		Delta:    0.1,
+		Interval: 0.3,
+		Cap:      0.25,
+	}
+	if err := a.Begin(fw); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := fw.Vars().Lookup("PIDR.INTEG")
+	a.Apply(fw, 0) // first shot
+	if got := ref.Get(); got != 0.1 {
+		t.Errorf("after first apply: %v", got)
+	}
+	a.Apply(fw, 0.1) // too soon
+	if got := ref.Get(); got != 0.1 {
+		t.Errorf("interval not respected: %v", got)
+	}
+	a.Apply(fw, 0.35) // second shot
+	if got := ref.Get(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("after second apply: %v", got)
+	}
+	a.Apply(fw, 0.7) // would exceed the cap
+	if got := ref.Get(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("cap not respected: %v", got)
+	}
+	if math.Abs(a.Applied()-0.2) > 1e-12 {
+		t.Errorf("Applied = %v", a.Applied())
+	}
+	// Unbegun attack is inert.
+	var idle GradualAttack
+	idle.Apply(fw, 1)
+}
+
+func TestParamAttackRampsParameter(t *testing.T) {
+	fw, err := NewFirmware(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &ParamAttack{Param: "ATC_RAT_RLL_P", Delta: 0.01, Interval: 0.3}
+	if err := a.Begin(fw); err != nil {
+		t.Fatal(err)
+	}
+	a.Apply(fw, 0)
+	fw.Step() // processes the PARAM_SET
+	v, _ := fw.Params().Get("ATC_RAT_RLL_P")
+	if math.Abs(v-0.145) > 1e-9 {
+		t.Errorf("param after one shot = %v, want 0.145", v)
+	}
+	// Unknown parameter fails at Begin.
+	bad := &ParamAttack{Param: "NOPE", Delta: 1, Interval: 1}
+	if err := bad.Begin(fw); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestCalibrateMonitors(t *testing.T) {
+	mission := firmware.SquareMission(25, 10)
+	ci, ml, err := CalibrateMonitors(mission, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Fitted() || !ml.Fitted() {
+		t.Error("monitors not fitted")
+	}
+}
+
+// TestSessionBenignVsNaiveVsRamp is the package's core integration test: it
+// reproduces the Figure 6 shape — a benign mission stays far below the CI
+// threshold, the naive integrator-forcing attack trips it, and the ARES
+// ramp manipulation deviates the vehicle while staying undetected.
+func TestSessionBenignVsNaiveVsRamp(t *testing.T) {
+	mission := firmware.LineMission(120, 10)
+	ci, _, err := CalibrateMonitors(mission, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	benign, err := RunSession(SessionConfig{
+		Mission: mission, Duration: 60, Seed: 20, CI: ci,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benign.DetectedCI {
+		t.Fatalf("benign mission raised a CI alarm (max %v)", benign.MaxCI)
+	}
+	if !benign.MissionComplete {
+		t.Error("benign mission incomplete")
+	}
+
+	// The naive baseline forces the roll-rate integrator to its clamp:
+	// the vehicle rolls hard against its own attitude targets, which is
+	// exactly the divergence the control invariant expresses.
+	naive, err := RunSession(SessionConfig{
+		Mission:     mission,
+		Duration:    60,
+		Seed:        21,
+		CI:          ci,
+		Strategy:    &NaiveAttack{Region: firmware.RegionStabilizer, Variable: "PIDR.INTEG", Value: 0.25},
+		AttackStart: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.DetectedCI {
+		t.Errorf("naive attack evaded CI (max %v, threshold %v)", naive.MaxCI, ci.Threshold)
+	}
+
+	// The ARES manipulation ramps the roll command ~2.5°/s through the
+	// navigator→stabilizer handoff; the vehicle tracks its (attacked)
+	// targets, so the invariant stays satisfied while the vehicle drifts.
+	ramp, err := RunSession(SessionConfig{
+		Mission:  mission,
+		Duration: 60,
+		Seed:     22,
+		CI:       ci,
+		Strategy: &RampAttack{
+			Region:   firmware.RegionStabilizer,
+			Variable: "CMD.Roll",
+			Rate:     0.0436,
+			Cap:      0.4,
+		},
+		AttackStart: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ramp.DetectedCI {
+		t.Errorf("ramp attack detected by CI (max %v)", ramp.MaxCI)
+	}
+	if ramp.MaxPathDev < benign.MaxPathDev+2 {
+		t.Errorf("ramp deviation %v not clearly above benign %v",
+			ramp.MaxPathDev, benign.MaxPathDev)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := RunSession(SessionConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunSession(SessionConfig{Mission: firmware.NewMission(nil)}); err == nil {
+		t.Error("empty mission accepted")
+	}
+}
+
+func TestSessionTraceSampling(t *testing.T) {
+	mission := firmware.LineMission(30, 10)
+	res, err := RunSession(SessionConfig{Mission: mission, Duration: 20, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 Hz over 20 s ≈ 320 samples.
+	if len(res.Trace) < 250 || len(res.Trace) > 340 {
+		t.Errorf("trace has %d samples", len(res.Trace))
+	}
+	// Time is monotone.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].T <= res.Trace[i-1].T {
+			t.Fatalf("non-monotone trace time at %d", i)
+		}
+	}
+}
+
+func TestPolicyAttackDrivesVariable(t *testing.T) {
+	fw, err := NewFirmware(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	a := &PolicyAttack{
+		Region:   firmware.RegionStabilizer,
+		Variable: "PIDR.INTEG",
+		Interval: 0.3,
+		Observe: func(fw *firmware.Firmware) []float64 {
+			return []float64{fw.Quad().State().Pos.X}
+		},
+		Act: func(obs []float64) float64 {
+			calls++
+			return 0.05
+		},
+	}
+	if err := a.Begin(fw); err != nil {
+		t.Fatal(err)
+	}
+	a.Apply(fw, 0)
+	a.Apply(fw, 0.1)
+	a.Apply(fw, 0.4)
+	if calls != 2 {
+		t.Errorf("policy consulted %d times, want 2", calls)
+	}
+	ref, _ := fw.Vars().Lookup("PIDR.INTEG")
+	if math.Abs(ref.Get()-0.1) > 1e-12 {
+		t.Errorf("variable = %v, want 0.1", ref.Get())
+	}
+}

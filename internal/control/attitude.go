@@ -1,0 +1,168 @@
+package control
+
+import (
+	"math"
+
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/vars"
+)
+
+// AttitudeController converts target Euler angles into normalized torque
+// demands using the ArduCopter two-stage cascade: an angle-error square-root
+// controller produces target body rates, and per-axis rate PIDs (the PIDR /
+// PIDP / PIDY controllers of the dataflash log) turn rate errors into motor
+// torque fractions.
+type AttitudeController struct {
+	// AngleRoll/AnglePitch/AngleYaw are the outer angle→rate controllers.
+	AngleRoll  *SqrtController
+	AnglePitch *SqrtController
+	AngleYaw   *SqrtController
+	// RateRoll/RatePitch/RateYaw are the inner rate→torque PIDs.
+	RateRoll  *PID
+	RatePitch *PID
+	RateYaw   *PID
+	// MaxRate clamps the commanded roll/pitch body rates in rad/s.
+	MaxRate float64
+	// MaxYawRate clamps the commanded yaw rate (ArduCopter slews yaw far
+	// slower than roll/pitch so large heading changes cannot starve the
+	// roll/pitch motors).
+	MaxYawRate float64
+
+	// Desired attitude (dynamics DesR, DesP, DesY in the dataflash ATT
+	// record) and measured attitude (R, P, Y), in radians.
+	desRoll, desPitch, desYaw float64
+	roll, pitch, yaw          float64
+	// Commanded body rates (intermediates of the cascade).
+	rateTargetR, rateTargetP, rateTargetY float64
+}
+
+// AttitudeConfig holds gains for the attitude cascade. Defaults follow
+// ArduCopter's IRIS+ tune.
+type AttitudeConfig struct {
+	AngleP       float64 // ATC_ANG_RLL_P and friends
+	AccelLim     float64 // rad/s² second-order limit for the sqrt controller
+	Rate         PIDConfig
+	RateYaw      PIDConfig
+	MaxRateRS    float64 // rad/s
+	MaxYawRateRS float64 // rad/s
+}
+
+// DefaultAttitudeConfig returns the IRIS+-style attitude tune.
+func DefaultAttitudeConfig(dt float64) AttitudeConfig {
+	return AttitudeConfig{
+		AngleP:   4.5,
+		AccelLim: mathx.Rad(720), // ATC_ACCEL_*_MAX ≈ 72000 cdeg/s²
+		// Rate PID outputs are torque fractions; they are bounded to
+		// about half the motor range so one axis can never consume all
+		// authority. (The oversized ±5000 range stays the *default* for
+		// unconfigured PIDs — the defect Figure 8 exploits.)
+		Rate: PIDConfig{
+			KP: 0.135, KI: 0.090, KD: 0.0036,
+			IMax: 0.25, FilterHz: 20, DT: dt,
+			OutMin: -0.5, OutMax: 0.5,
+		},
+		RateYaw: PIDConfig{
+			KP: 0.18, KI: 0.018, KD: 0,
+			IMax: 0.1, FilterHz: 5, DT: dt,
+			OutMin: -0.2, OutMax: 0.2,
+		},
+		MaxRateRS:    mathx.Rad(360),
+		MaxYawRateRS: mathx.Rad(45),
+	}
+}
+
+// NewAttitudeController builds the cascade from the config.
+func NewAttitudeController(cfg AttitudeConfig) *AttitudeController {
+	return &AttitudeController{
+		AngleRoll:  NewSqrtController(cfg.AngleP, cfg.AccelLim),
+		AnglePitch: NewSqrtController(cfg.AngleP, cfg.AccelLim),
+		AngleYaw:   NewSqrtController(cfg.AngleP, cfg.AccelLim),
+		RateRoll:   NewPID(cfg.Rate),
+		RatePitch:  NewPID(cfg.Rate),
+		RateYaw:    NewPID(cfg.RateYaw),
+		MaxRate:    cfg.MaxRateRS,
+		MaxYawRate: cfg.MaxYawRateRS,
+	}
+}
+
+// Update runs one attitude control cycle. Target and measured angles are in
+// radians; gyro holds the measured body rates. It returns normalized roll,
+// pitch and yaw torque demands, each nominally in [-1, 1].
+func (a *AttitudeController) Update(desRoll, desPitch, desYaw float64, roll, pitch, yaw float64, gyro mathx.Vec3) (tr, tp, ty float64) {
+	a.desRoll, a.desPitch, a.desYaw = desRoll, desPitch, desYaw
+	a.roll, a.pitch, a.yaw = roll, pitch, yaw
+
+	// Outer loop: desired Euler-angle rates.
+	eulerRateR := mathx.Clamp(a.AngleRoll.Update(mathx.WrapPi(desRoll-roll)), -a.MaxRate, a.MaxRate)
+	eulerRateP := mathx.Clamp(a.AnglePitch.Update(mathx.WrapPi(desPitch-pitch)), -a.MaxRate, a.MaxRate)
+	maxYaw := a.MaxYawRate
+	if maxYaw <= 0 {
+		maxYaw = a.MaxRate
+	}
+	eulerRateY := mathx.Clamp(a.AngleYaw.Update(mathx.WrapPi(desYaw-yaw)), -maxYaw, maxYaw)
+
+	// Transform Euler-angle rates into body rates. The gyro measures body
+	// rates (p, q, r); commanding them as if they were Euler rates makes
+	// the Euler angles drift whenever pitch and yaw rate are both large —
+	// exactly the regime of a waypoint turn.
+	//   p = dφ − sinθ·dψ
+	//   q = cosφ·dθ + sinφ·cosθ·dψ
+	//   r = −sinφ·dθ + cosφ·cosθ·dψ
+	sinR, cosR := math.Sin(roll), math.Cos(roll)
+	sinP, cosP := math.Sin(pitch), math.Cos(pitch)
+	a.rateTargetR = eulerRateR - sinP*eulerRateY
+	a.rateTargetP = cosR*eulerRateP + sinR*cosP*eulerRateY
+	a.rateTargetY = -sinR*eulerRateP + cosR*cosP*eulerRateY
+
+	tr = a.RateRoll.Update(a.rateTargetR, gyro.X)
+	tp = a.RatePitch.Update(a.rateTargetP, gyro.Y)
+	ty = a.RateYaw.Update(a.rateTargetY, gyro.Z)
+	return tr, tp, ty
+}
+
+// Reset clears all dynamic controller state.
+func (a *AttitudeController) Reset() {
+	a.RateRoll.Reset()
+	a.RatePitch.Reset()
+	a.RateYaw.Reset()
+}
+
+// RegisterVars exposes the cascade's variables: the ATT dynamics block, the
+// angle controllers and the three rate PIDs (PIDR, PIDP, PIDY).
+func (a *AttitudeController) RegisterVars(set *vars.Set) error {
+	attVars := []struct {
+		name string
+		ptr  *float64
+	}{
+		{"ATT.DesRoll", &a.desRoll},
+		{"ATT.DesPitch", &a.desPitch},
+		{"ATT.DesYaw", &a.desYaw},
+		{"ATT.Roll", &a.roll},
+		{"ATT.Pitch", &a.pitch},
+		{"ATT.Yaw", &a.yaw},
+		{"RATE.RDes", &a.rateTargetR},
+		{"RATE.PDes", &a.rateTargetP},
+		{"RATE.YDes", &a.rateTargetY},
+	}
+	for _, v := range attVars {
+		if err := set.Register(v.name, vars.KindDynamic, v.ptr); err != nil {
+			return err
+		}
+	}
+	if err := a.AngleRoll.RegisterVars(set, "ANGR"); err != nil {
+		return err
+	}
+	if err := a.AnglePitch.RegisterVars(set, "ANGP"); err != nil {
+		return err
+	}
+	if err := a.AngleYaw.RegisterVars(set, "ANGY"); err != nil {
+		return err
+	}
+	if err := a.RateRoll.RegisterVars(set, "PIDR"); err != nil {
+		return err
+	}
+	if err := a.RatePitch.RegisterVars(set, "PIDP"); err != nil {
+		return err
+	}
+	return a.RateYaw.RegisterVars(set, "PIDY")
+}

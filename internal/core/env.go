@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ares-cps/ares/internal/attack"
+	"github.com/ares-cps/ares/internal/defense"
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/rl"
+	"github.com/ares-cps/ares/internal/sensors"
+	"github.com/ares-cps/ares/internal/sim"
+	"github.com/ares-cps/ares/internal/vars"
+)
+
+// EnvConfig configures the RL attack environments.
+type EnvConfig struct {
+	// Variable is the TSVL state variable the agent manipulates, and
+	// Region the compromised MPU region it lives in.
+	Variable string
+	Region   string
+	// MaxAction bounds the per-action manipulation magnitude.
+	MaxAction float64
+	// ActionInterval is the seconds between agent actions (paper: 0.3).
+	ActionInterval float64
+	// Mission is the flight the attack disrupts; nil uses a 60 m line.
+	Mission *firmware.Mission
+	// Detector, when non-nil, runs in the loop and ends the episode with
+	// the −∞ penalty on alarm (the Section V-C reward shaping).
+	Detector *defense.ControlInvariants
+	// Seed drives per-episode variation.
+	Seed int64
+	// SetupSeconds is the pre-mission flight time (takeoff + settle).
+	SetupSeconds float64
+	// PerTick selects the manipulation semantics. False (default): each
+	// action adds its amount to the variable once — right for stateful
+	// cells like the PID integrator, which hold the injected value.
+	// True: the amount is re-applied at every 400 Hz tick during the
+	// action interval — required for cells the firmware rewrites each
+	// cycle (e.g. the CMD.* handoff), where the injection acts as a
+	// standing offset.
+	PerTick bool
+}
+
+func (c *EnvConfig) applyDefaults() {
+	if c.Region == "" {
+		c.Region = firmware.RegionStabilizer
+	}
+	if c.MaxAction == 0 {
+		c.MaxAction = 0.1
+	}
+	if c.ActionInterval == 0 {
+		c.ActionInterval = 0.3
+	}
+	if c.Mission == nil {
+		c.Mission = firmware.LineMission(60, 10)
+	}
+	if c.SetupSeconds == 0 {
+		c.SetupSeconds = 8
+	}
+}
+
+// baseEnv holds the machinery shared by both attack environments.
+type baseEnv struct {
+	cfg     EnvConfig
+	fw      *firmware.Firmware
+	ref     vars.Ref
+	ciObs   *attack.CIObserver
+	episode int
+	ticks   int
+	alarmed bool
+	world   *sim.World
+
+	// Injection state consumed by the firmware's mid-pipeline hook.
+	pendDelta float64
+	pendOnce  bool
+}
+
+// reset rebuilds the episode: fresh firmware (per-episode sensor seed),
+// takeoff, mission start — the Gym env reset of Section V-A ("landing,
+// disarming the vehicle, and resetting it back into its initial position"
+// realized as a clean re-launch).
+func (b *baseEnv) reset() error {
+	fw, err := attack.NewFirmware(b.cfg.Seed + int64(b.episode))
+	if err != nil {
+		return err
+	}
+	if b.world != nil {
+		// Rebuild with the obstacle world.
+		fw, err = newFirmwareWithWorld(b.cfg.Seed+int64(b.episode), b.world)
+		if err != nil {
+			return err
+		}
+	}
+	b.fw = fw
+	b.episode++
+	b.alarmed = false
+
+	alt := -b.cfg.Mission.Target().Z
+	if err := fw.Takeoff(alt); err != nil {
+		return err
+	}
+	fw.RunFor(b.cfg.SetupSeconds)
+	wps := make([]firmware.Waypoint, 0, b.cfg.Mission.Len())
+	for _, p := range b.cfg.Mission.Path() {
+		wps = append(wps, firmware.Waypoint{Pos: p})
+	}
+	fw.LoadMission(firmware.NewMission(wps))
+	if err := fw.StartMission(); err != nil {
+		return err
+	}
+	ref, err := fw.Memory().Access(b.cfg.Region, b.cfg.Variable, true)
+	if err != nil {
+		return err
+	}
+	b.ref = ref
+	b.pendDelta, b.pendOnce = 0, false
+	// The injection fires from the firmware's mid-pipeline hook, after
+	// the navigator writes its commands and before the stabilizer
+	// consumes them — so both stateful cells (INTEG) and per-cycle
+	// rewritten cells (CMD.*) are manipulable.
+	fw.SetAttackHook(func() {
+		switch {
+		case b.cfg.PerTick:
+			b.ref.Add(b.pendDelta)
+		case b.pendOnce:
+			b.ref.Add(b.pendDelta)
+			b.pendOnce = false
+		}
+	})
+	if b.cfg.Detector != nil {
+		b.cfg.Detector.Reset()
+		b.ciObs = attack.NewCIObserver(fw)
+	}
+	b.ticks = int(b.cfg.ActionInterval / fw.DT())
+	if b.ticks < 1 {
+		b.ticks = 1
+	}
+	return nil
+}
+
+// advance injects the action and runs one action interval, returning
+// whether a detector alarm fired.
+func (b *baseEnv) advance(action float64) bool {
+	b.pendDelta = mathx.Clamp(action, -b.cfg.MaxAction, b.cfg.MaxAction)
+	b.pendOnce = true
+	for i := 0; i < b.ticks; i++ {
+		b.fw.Step()
+		if b.cfg.Detector != nil {
+			if v := b.cfg.Detector.Observe(b.ciObs.Sample(b.fw)); v.Alarm {
+				b.alarmed = true
+			}
+		}
+		if crashed, _ := b.fw.Quad().Crashed(); crashed {
+			break
+		}
+	}
+	return b.alarmed
+}
+
+func newFirmwareWithWorld(seed int64, world *sim.World) (*firmware.Firmware, error) {
+	sensorCfg := sensors.DefaultConfig()
+	sensorCfg.Seed = seed
+	return firmware.New(firmware.Config{World: world, Sensors: sensorCfg})
+}
+
+// validateTarget checks at construction time that the configured variable
+// is reachable from the configured region, so Reset cannot fail on a
+// misconfigured target.
+func validateTarget(cfg EnvConfig) error {
+	fw, err := attack.NewFirmware(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Memory().Access(cfg.Region, cfg.Variable, true); err != nil {
+		return fmt.Errorf("core: env target: %w", err)
+	}
+	return nil
+}
+
+// DeviationEnv is the uncontrolled-failure environment (Case Study I): the
+// agent manipulates one state variable to push the vehicle off its mission
+// path, rewarded by Equation 4.
+type DeviationEnv struct {
+	baseEnv
+
+	reward *rl.UncontrolledReward
+	path   []mathx.Vec3
+}
+
+var _ rl.Env = (*DeviationEnv)(nil)
+
+// NewDeviationEnv creates the environment.
+func NewDeviationEnv(cfg EnvConfig) (*DeviationEnv, error) {
+	cfg.applyDefaults()
+	if cfg.Variable == "" {
+		return nil, fmt.Errorf("core: deviation env needs a target variable")
+	}
+	if err := validateTarget(cfg); err != nil {
+		return nil, err
+	}
+	e := &DeviationEnv{
+		baseEnv: baseEnv{cfg: cfg},
+		reward:  rl.NewUncontrolledReward(),
+	}
+	e.path = cfg.Mission.Path()
+	return e, nil
+}
+
+// Reset implements rl.Env.
+func (e *DeviationEnv) Reset() []float64 {
+	if err := e.reset(); err != nil {
+		// An environment that cannot reset cannot train; surfacing the
+		// error through a panic here is a programming/configuration bug,
+		// not a runtime condition (mission and variable were validated
+		// at construction).
+		panic(fmt.Sprintf("core: deviation env reset: %v", err))
+	}
+	e.reward.Reset()
+	e.reward.Step(e.pathDist(), false)
+	return e.observe()
+}
+
+// Step implements rl.Env.
+func (e *DeviationEnv) Step(action float64) ([]float64, float64, bool) {
+	alarm := e.advance(action)
+	dist := e.pathDist()
+	reward, done := e.reward.Step(dist, alarm)
+	if crashed, _ := e.fw.Quad().Crashed(); crashed {
+		done = true
+	}
+	return e.observe(), reward, done
+}
+
+// ObservationSize implements rl.Env.
+func (e *DeviationEnv) ObservationSize() int { return 5 }
+
+// ActionBounds implements rl.Env.
+func (e *DeviationEnv) ActionBounds() (float64, float64) {
+	return -e.cfg.MaxAction, e.cfg.MaxAction
+}
+
+// PathDistance exposes the current deviation (for evaluation rollouts).
+func (e *DeviationEnv) PathDistance() float64 { return e.pathDist() }
+
+// Alarmed reports whether the in-loop detector fired this episode.
+func (e *DeviationEnv) Alarmed() bool { return e.alarmed }
+
+// Firmware exposes the running stack (read-only use in evaluations).
+func (e *DeviationEnv) Firmware() *firmware.Firmware { return e.fw }
+
+func (e *DeviationEnv) pathDist() float64 {
+	return mathx.PathDistance(e.fw.Quad().State().Pos, e.path)
+}
+
+// observe builds the normalized observation: deviation, roll, roll rate,
+// manipulated-variable value, mission progress.
+func (e *DeviationEnv) observe() []float64 {
+	st := e.fw.Quad().State()
+	roll, _, _ := st.Euler()
+	progress := 0.0
+	if n := len(e.path); n > 1 {
+		total := e.path[0].Dist(e.path[n-1])
+		if total > 0 {
+			progress = mathx.Clamp(st.Pos.Dist(e.path[0])/total, 0, 2)
+		}
+	}
+	return []float64{
+		e.pathDist() / 10,
+		roll,
+		st.Omega.X,
+		e.ref.Get(),
+		progress,
+	}
+}
+
+// CrashEnv is the controlled-failure environment (Case Study II): the agent
+// steers the vehicle toward a forbidden zone, rewarded by Equation 5.
+type CrashEnv struct {
+	baseEnv
+
+	reward   *rl.ControlledReward
+	obstacle sim.Obstacle
+}
+
+var _ rl.Env = (*CrashEnv)(nil)
+
+// NewCrashEnv creates the environment with the given forbidden zone.
+func NewCrashEnv(cfg EnvConfig, obstacle sim.Obstacle) (*CrashEnv, error) {
+	cfg.applyDefaults()
+	if cfg.Variable == "" {
+		return nil, fmt.Errorf("core: crash env needs a target variable")
+	}
+	if err := validateTarget(cfg); err != nil {
+		return nil, err
+	}
+	world := &sim.World{}
+	world.AddObstacle(obstacle)
+	e := &CrashEnv{
+		baseEnv:  baseEnv{cfg: cfg, world: world},
+		reward:   rl.NewControlledReward(),
+		obstacle: obstacle,
+	}
+	// Contact distance: the vehicle's physical extent.
+	e.reward.Epsilon = 0.3
+	return e, nil
+}
+
+// Reset implements rl.Env.
+func (e *CrashEnv) Reset() []float64 {
+	if err := e.reset(); err != nil {
+		panic(fmt.Sprintf("core: crash env reset: %v", err))
+	}
+	e.reward.Reset()
+	e.reward.Step(e.goalDist(), false)
+	return e.observe()
+}
+
+// Step implements rl.Env.
+func (e *CrashEnv) Step(action float64) ([]float64, float64, bool) {
+	alarm := e.advance(action)
+	dist := e.goalDist()
+	// A registered collision with the target obstacle is goal contact
+	// even if the crash handler froze the vehicle just outside Epsilon.
+	if crashed, reason := e.fw.Quad().Crashed(); crashed &&
+		strings.Contains(reason, e.obstacle.Name) {
+		dist = 0
+	}
+	reward, done := e.reward.Step(dist, alarm)
+	if crashed, _ := e.fw.Quad().Crashed(); crashed {
+		done = true
+	}
+	return e.observe(), reward, done
+}
+
+// ObservationSize implements rl.Env.
+func (e *CrashEnv) ObservationSize() int { return 5 }
+
+// ActionBounds implements rl.Env.
+func (e *CrashEnv) ActionBounds() (float64, float64) {
+	return -e.cfg.MaxAction, e.cfg.MaxAction
+}
+
+// GoalDistance exposes the distance to the forbidden zone.
+func (e *CrashEnv) GoalDistance() float64 { return e.goalDist() }
+
+// Firmware exposes the running stack.
+func (e *CrashEnv) Firmware() *firmware.Firmware { return e.fw }
+
+func (e *CrashEnv) goalDist() float64 {
+	return e.obstacle.Box.Distance(e.fw.Quad().State().Pos)
+}
+
+func (e *CrashEnv) observe() []float64 {
+	st := e.fw.Quad().State()
+	roll, _, _ := st.Euler()
+	center := e.obstacle.Box.Center()
+	return []float64{
+		e.goalDist() / 10,
+		(center.X - st.Pos.X) / 10,
+		(center.Y - st.Pos.Y) / 10,
+		roll,
+		e.ref.Get(),
+	}
+}

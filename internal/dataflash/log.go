@@ -1,0 +1,315 @@
+package dataflash
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Binary layout:
+//
+//	file      = *record
+//	record    = magic1 magic2 type payload
+//	FMT       = type=0x80, then: msgType(1) nameLen(1) name fieldCount(1)
+//	            *(fieldLen(1) field)
+//	data      = type byte registered by a FMT, then: timeUS(8, LE uint64)
+//	            *(value float32 LE)
+//
+// The two magic bytes (0xA3 0x95) front every record, as in real ArduPilot
+// logs, giving the reader a resync point after corruption.
+const (
+	magic1 = 0xA3
+	magic2 = 0x95
+)
+
+// Record is one decoded data record.
+type Record struct {
+	// Name is the message name (e.g. "ATT").
+	Name string
+	// Time is the record timestamp in seconds.
+	Time float64
+	// Values holds one value per field of the message definition.
+	Values []float64
+}
+
+// Writer encodes records to an underlying stream.
+type Writer struct {
+	w      *bufio.Writer
+	defs   map[string]MessageDef
+	wrote  map[string]bool
+	closed bool
+}
+
+// NewWriter creates a log writer with the full Table I catalogue available.
+// FMT records are emitted lazily before the first record of each type.
+func NewWriter(w io.Writer) *Writer {
+	defs := make(map[string]MessageDef, len(catalogue))
+	for _, d := range catalogue {
+		defs[d.Name] = d
+	}
+	return &Writer{
+		w:     bufio.NewWriter(w),
+		defs:  defs,
+		wrote: make(map[string]bool),
+	}
+}
+
+// Log writes one record. The value count must match the message definition.
+func (w *Writer) Log(name string, timeS float64, values ...float64) error {
+	if w.closed {
+		return errors.New("dataflash: write after Close")
+	}
+	def, ok := w.defs[name]
+	if !ok {
+		return fmt.Errorf("dataflash: unknown message %q", name)
+	}
+	if len(values) != len(def.Fields) {
+		return fmt.Errorf("dataflash: message %q wants %d values, got %d",
+			name, len(def.Fields), len(values))
+	}
+	if !w.wrote[name] {
+		if err := w.writeFMT(def); err != nil {
+			return err
+		}
+		w.wrote[name] = true
+	}
+	if err := w.writeHeader(def.Type); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(timeS*1e6))
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, v := range values {
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(v)))
+		if _, err := w.w.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) writeHeader(recType byte) error {
+	_, err := w.w.Write([]byte{magic1, magic2, recType})
+	return err
+}
+
+func (w *Writer) writeFMT(def MessageDef) error {
+	if err := w.writeHeader(fmtType); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(def.Type); err != nil {
+		return err
+	}
+	if err := writeString(w.w, def.Name); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(byte(len(def.Fields))); err != nil {
+		return err
+	}
+	for _, f := range def.Fields {
+		if err := writeString(w.w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 255 {
+		return fmt.Errorf("dataflash: string %q too long", s)
+	}
+	if err := w.WriteByte(byte(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// Close flushes buffered records.
+func (w *Writer) Close() error {
+	w.closed = true
+	return w.w.Flush()
+}
+
+// Log is a fully parsed dataflash log.
+type Log struct {
+	// Records holds all data records in file order.
+	Records []Record
+	defs    map[byte]MessageDef
+}
+
+// Read parses a complete log from r.
+func Read(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	log := &Log{defs: make(map[byte]MessageDef)}
+	for {
+		if err := expectMagic(br); err != nil {
+			if errors.Is(err, io.EOF) {
+				return log, nil
+			}
+			return nil, err
+		}
+		recType, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("dataflash: truncated record type: %w", err)
+		}
+		if recType == fmtType {
+			if err := log.readFMT(br); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		def, ok := log.defs[recType]
+		if !ok {
+			return nil, fmt.Errorf("dataflash: record type 0x%02x before its FMT", recType)
+		}
+		rec, err := readRecord(br, def)
+		if err != nil {
+			return nil, err
+		}
+		log.Records = append(log.Records, rec)
+	}
+}
+
+func expectMagic(br *bufio.Reader) error {
+	b1, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	b2, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b1 != magic1 || b2 != magic2 {
+		return fmt.Errorf("dataflash: bad magic %02x %02x", b1, b2)
+	}
+	return nil
+}
+
+func (l *Log) readFMT(br *bufio.Reader) error {
+	msgType, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("dataflash: truncated FMT: %w", err)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return err
+	}
+	count, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("dataflash: truncated FMT field count: %w", err)
+	}
+	fields := make([]string, count)
+	for i := range fields {
+		if fields[i], err = readString(br); err != nil {
+			return err
+		}
+	}
+	l.defs[msgType] = MessageDef{Type: msgType, Name: name, Fields: fields}
+	return nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := br.ReadByte()
+	if err != nil {
+		return "", fmt.Errorf("dataflash: truncated string length: %w", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("dataflash: truncated string: %w", err)
+	}
+	return string(buf), nil
+}
+
+func readRecord(br *bufio.Reader, def MessageDef) (Record, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return Record{}, fmt.Errorf("dataflash: truncated timestamp: %w", err)
+	}
+	rec := Record{
+		Name:   def.Name,
+		Time:   float64(binary.LittleEndian.Uint64(buf[:])) / 1e6,
+		Values: make([]float64, len(def.Fields)),
+	}
+	for i := range rec.Values {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return Record{}, fmt.Errorf("dataflash: truncated value: %w", err)
+		}
+		rec.Values[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:4])))
+	}
+	return rec, nil
+}
+
+// Defs returns the message definitions seen in the log, sorted by name.
+func (l *Log) Defs() []MessageDef {
+	out := make([]MessageDef, 0, len(l.defs))
+	for _, d := range l.defs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Series extracts the time series for one "MSG.Field" variable: parallel
+// slices of timestamps and values. Unknown variables yield empty slices.
+func (l *Log) Series(variable string) (times, values []float64) {
+	name, field, ok := splitVar(variable)
+	if !ok {
+		return nil, nil
+	}
+	fieldIdx := -1
+	for _, d := range l.defs {
+		if d.Name != name {
+			continue
+		}
+		for i, f := range d.Fields {
+			if f == field {
+				fieldIdx = i
+				break
+			}
+		}
+	}
+	if fieldIdx < 0 {
+		return nil, nil
+	}
+	for _, r := range l.Records {
+		if r.Name == name {
+			times = append(times, r.Time)
+			values = append(values, r.Values[fieldIdx])
+		}
+	}
+	return times, values
+}
+
+// Variables returns every "MSG.Field" name that has at least one record.
+func (l *Log) Variables() []string {
+	seen := make(map[string]bool)
+	for _, r := range l.Records {
+		seen[r.Name] = true
+	}
+	var out []string
+	for _, d := range l.Defs() {
+		if !seen[d.Name] {
+			continue
+		}
+		for _, f := range d.Fields {
+			out = append(out, d.Name+"."+f)
+		}
+	}
+	return out
+}
+
+func splitVar(v string) (msg, field string, ok bool) {
+	for i := 0; i < len(v); i++ {
+		if v[i] == '.' {
+			return v[:i], v[i+1:], i > 0 && i < len(v)-1
+		}
+	}
+	return "", "", false
+}

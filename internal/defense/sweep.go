@@ -1,0 +1,42 @@
+package defense
+
+// SweepPoint is one row of a detection-threshold sweep: the false-positive
+// and true-positive rates obtained at a given threshold, as in the paper's
+// Figure 9b.
+type SweepPoint struct {
+	Threshold float64
+	// FPRate is the fraction of benign missions whose maximum statistic
+	// exceeded the threshold.
+	FPRate float64
+	// TPRate is the fraction of attack missions detected.
+	TPRate float64
+}
+
+// ThresholdSweep evaluates candidate thresholds against the maximum
+// detection statistic observed in each benign and attack mission.
+func ThresholdSweep(benignMax, attackMax []float64, thresholds []float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		fp := countAbove(benignMax, th)
+		tp := countAbove(attackMax, th)
+		p := SweepPoint{Threshold: th}
+		if len(benignMax) > 0 {
+			p.FPRate = float64(fp) / float64(len(benignMax))
+		}
+		if len(attackMax) > 0 {
+			p.TPRate = float64(tp) / float64(len(attackMax))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func countAbove(xs []float64, th float64) int {
+	n := 0
+	for _, x := range xs {
+		if x > th {
+			n++
+		}
+	}
+	return n
+}

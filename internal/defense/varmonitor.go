@@ -1,0 +1,166 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+)
+
+// VariableMonitor is the countermeasure the paper's Discussion proposes:
+// "RAVs need ... fine-grained monitors in the variable level rather than the
+// system level". It learns per-variable envelopes — the absolute value range
+// and the per-sample update range — for a selected set of state variables
+// (e.g. the TSVL that ARES itself identifies) from benign traces, and alarms
+// when a watched variable leaves its envelope for a debounce window.
+//
+// Because it watches the *variables* rather than the vehicle's physical
+// behavior, it catches the self-consistent manipulations that evade the
+// system-level monitors: a ramped command cell leaves its benign value range
+// long before the vehicle's tracking behavior looks anomalous.
+type VariableMonitor struct {
+	// Margin widens the learned envelopes (0.5 = 50% beyond the benign
+	// extremes, measured in units of the benign range).
+	Margin float64
+	// Debounce is how many consecutive out-of-envelope samples are needed
+	// to alarm; transients shorter than this are tolerated.
+	Debounce int
+
+	names      []string
+	lo, hi     []float64
+	dlo, dhi   []float64
+	last       []float64
+	haveLast   bool
+	violations int
+	fit        bool
+	// alarmedVar remembers which variable triggered.
+	alarmedVar string
+}
+
+// NewVariableMonitor creates the monitor with a 50% envelope margin and a
+// 20-sample (50 ms at 400 Hz) debounce.
+func NewVariableMonitor() *VariableMonitor {
+	return &VariableMonitor{Margin: 0.5, Debounce: 20}
+}
+
+// Train learns the envelopes from benign traces: one series per watched
+// variable, all of equal length.
+func (m *VariableMonitor) Train(names []string, series [][]float64) error {
+	if len(names) == 0 || len(names) != len(series) {
+		return fmt.Errorf("defense: variable monitor needs matching names/series, got %d/%d",
+			len(names), len(series))
+	}
+	n := len(series[0])
+	if n < 16 {
+		return fmt.Errorf("defense: variable monitor training needs ≥16 samples, got %d", n)
+	}
+	m.names = append([]string{}, names...)
+	k := len(names)
+	m.lo = make([]float64, k)
+	m.hi = make([]float64, k)
+	m.dlo = make([]float64, k)
+	m.dhi = make([]float64, k)
+	for i, s := range series {
+		if len(s) != n {
+			return fmt.Errorf("defense: series %q has %d samples, want %d", names[i], len(s), n)
+		}
+		lo, hi := s[0], s[0]
+		dlo, dhi := 0.0, 0.0
+		for j, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			if j > 0 {
+				d := v - s[j-1]
+				dlo = math.Min(dlo, d)
+				dhi = math.Max(dhi, d)
+			}
+		}
+		span := hi - lo
+		if span == 0 {
+			span = math.Max(math.Abs(hi), 1e-9)
+		}
+		dspan := dhi - dlo
+		if dspan == 0 {
+			dspan = 1e-9
+		}
+		m.lo[i] = lo - m.Margin*span
+		m.hi[i] = hi + m.Margin*span
+		m.dlo[i] = dlo - m.Margin*dspan
+		m.dhi[i] = dhi + m.Margin*dspan
+	}
+	m.fit = true
+	m.Reset()
+	return nil
+}
+
+// Fitted reports whether Train has run.
+func (m *VariableMonitor) Fitted() bool { return m.fit }
+
+// Names returns the watched variable names.
+func (m *VariableMonitor) Names() []string { return append([]string{}, m.names...) }
+
+// AlarmedVariable returns the variable that first tripped the monitor.
+func (m *VariableMonitor) AlarmedVariable() string { return m.alarmedVar }
+
+// Observe consumes one synchronized sample of all watched variables. The
+// statistic is the worst normalized envelope excess across variables.
+func (m *VariableMonitor) Observe(values []float64) Verdict {
+	if !m.fit || len(values) != len(m.names) {
+		return Verdict{}
+	}
+	worst := 0.0
+	worstVar := ""
+	for i, v := range values {
+		span := m.hi[i] - m.lo[i]
+		if excess := envelopeExcess(v, m.lo[i], m.hi[i], span); excess > worst {
+			worst = excess
+			worstVar = m.names[i]
+		}
+		if m.haveLast {
+			d := v - m.last[i]
+			dspan := m.dhi[i] - m.dlo[i]
+			if excess := envelopeExcess(d, m.dlo[i], m.dhi[i], dspan); excess > worst {
+				worst = excess
+				worstVar = m.names[i]
+			}
+		}
+	}
+	if m.last == nil {
+		m.last = make([]float64, len(values))
+	}
+	copy(m.last, values)
+	m.haveLast = true
+
+	if worst > 0 {
+		m.violations++
+	} else {
+		m.violations = 0
+	}
+	alarm := m.violations >= m.Debounce
+	if alarm && m.alarmedVar == "" {
+		m.alarmedVar = worstVar
+	}
+	return Verdict{Stat: worst, Alarm: alarm}
+}
+
+// Reset clears runtime state but keeps the learned envelopes.
+func (m *VariableMonitor) Reset() {
+	m.last = nil
+	m.haveLast = false
+	m.violations = 0
+	m.alarmedVar = ""
+}
+
+// envelopeExcess returns how far v lies outside [lo, hi], normalized by
+// span; 0 when inside.
+func envelopeExcess(v, lo, hi, span float64) float64 {
+	if span <= 0 {
+		span = 1e-9
+	}
+	switch {
+	case v < lo:
+		return (lo - v) / span
+	case v > hi:
+		return (v - hi) / span
+	default:
+		return 0
+	}
+}

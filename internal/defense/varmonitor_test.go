@@ -1,0 +1,137 @@
+package defense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benignVarTraces(n int, seed int64) ([]string, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"CMD.Roll", "PIDR.INTEG"}
+	cmd := make([]float64, n)
+	integ := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cmd[i] = 0.05*math.Sin(float64(i)*0.01) + 0.005*rng.NormFloat64()
+		integ[i] = 0.02*math.Cos(float64(i)*0.007) + 0.002*rng.NormFloat64()
+	}
+	return names, [][]float64{cmd, integ}
+}
+
+func TestVariableMonitorTrainValidation(t *testing.T) {
+	m := NewVariableMonitor()
+	if m.Fitted() {
+		t.Error("unfitted monitor reports fitted")
+	}
+	if err := m.Train(nil, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	if err := m.Train([]string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("tiny series accepted")
+	}
+	if err := m.Train([]string{"a", "b"}, [][]float64{make([]float64, 100), make([]float64, 50)}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	names, series := benignVarTraces(1000, 1)
+	if err := m.Train(names, series); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fitted() || len(m.Names()) != 2 {
+		t.Error("fit state wrong")
+	}
+}
+
+func TestVariableMonitorBenignQuiet(t *testing.T) {
+	m := NewVariableMonitor()
+	names, series := benignVarTraces(2000, 2)
+	if err := m.Train(names, series); err != nil {
+		t.Fatal(err)
+	}
+	_, fresh := benignVarTraces(2000, 3)
+	for i := 0; i < 2000; i++ {
+		if v := m.Observe([]float64{fresh[0][i], fresh[1][i]}); v.Alarm {
+			t.Fatalf("false alarm at sample %d (stat %v)", i, v.Stat)
+		}
+	}
+}
+
+func TestVariableMonitorCatchesRamp(t *testing.T) {
+	// The manipulation that evades the system-level CI monitor: a slow
+	// ramp on the command cell. At the variable level it exits the benign
+	// envelope and is caught.
+	m := NewVariableMonitor()
+	names, series := benignVarTraces(2000, 4)
+	if err := m.Train(names, series); err != nil {
+		t.Fatal(err)
+	}
+	alarmed := false
+	for i := 0; i < 4000; i++ {
+		cmd := 0.05*math.Sin(float64(i)*0.01) + 0.0436*float64(i)/400 // +2.5°/s ramp
+		if v := m.Observe([]float64{cmd, 0}); v.Alarm {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Fatal("ramp manipulation not caught at the variable level")
+	}
+	if m.AlarmedVariable() != "CMD.Roll" {
+		t.Errorf("alarmed variable = %q, want CMD.Roll", m.AlarmedVariable())
+	}
+}
+
+func TestVariableMonitorCatchesJump(t *testing.T) {
+	// A single-step jump violates the per-sample delta envelope even if
+	// the value itself stays in range.
+	m := NewVariableMonitor()
+	m.Debounce = 1
+	names, series := benignVarTraces(2000, 5)
+	if err := m.Train(names, series); err != nil {
+		t.Fatal(err)
+	}
+	m.Observe([]float64{0.0, 0.0})
+	v := m.Observe([]float64{0.05, 0.0}) // in value range, huge delta
+	if !v.Alarm {
+		t.Errorf("delta jump not caught (stat %v)", v.Stat)
+	}
+}
+
+func TestVariableMonitorDebounce(t *testing.T) {
+	m := NewVariableMonitor()
+	m.Debounce = 5
+	names, series := benignVarTraces(1000, 6)
+	if err := m.Train(names, series); err != nil {
+		t.Fatal(err)
+	}
+	// 3 violating samples then recovery: no alarm.
+	for i := 0; i < 3; i++ {
+		if v := m.Observe([]float64{10, 0}); v.Alarm {
+			t.Fatal("alarm before debounce elapsed")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if v := m.Observe(series[0][i : i+2][:1]); v.Alarm && i == 0 {
+			_ = v
+		}
+	}
+	m.Reset()
+	if m.AlarmedVariable() != "" {
+		t.Error("Reset did not clear alarm state")
+	}
+}
+
+func TestVariableMonitorObserveGuards(t *testing.T) {
+	m := NewVariableMonitor()
+	// Unfitted: inert.
+	if v := m.Observe([]float64{1}); v.Alarm || v.Stat != 0 {
+		t.Error("unfitted monitor produced a verdict")
+	}
+	names, series := benignVarTraces(1000, 7)
+	if err := m.Train(names, series); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong width: inert.
+	if v := m.Observe([]float64{1}); v.Alarm || v.Stat != 0 {
+		t.Error("mismatched sample width produced a verdict")
+	}
+}

@@ -1,0 +1,332 @@
+// Package ekf implements the extended Kalman filter the firmware uses for
+// state estimation. It fuses gyro and accelerometer propagation with GPS,
+// barometer, magnetometer and gravity-direction updates into a nine-state
+// solution [roll pitch yaw vN vE vD pN pE pD].
+//
+// The filter serves two roles from the paper: it produces the EKF1/NKF1
+// dataflash variables that expand the KSVL, and its attitude residual
+// (ATT.R − EKF1.Roll) is the detection statistic of the SAVIOR-style sensor
+// estimation monitor assessed in Figure 8.
+package ekf
+
+import (
+	"math"
+
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/vars"
+)
+
+// n is the filter state dimension.
+const n = 9
+
+// State indices.
+const (
+	ixRoll = iota
+	ixPitch
+	ixYaw
+	ixVN
+	ixVE
+	ixVD
+	ixPN
+	ixPE
+	ixPD
+)
+
+// Config holds the filter noise parameters (matching the EK2_* parameter
+// namespace of the firmware's parameter table).
+type Config struct {
+	GyroNoise  float64 // rad/s process noise on attitude
+	AccelNoise float64 // m/s² process noise on velocity
+	PosNoise   float64 // m/s process noise on position
+	GPSPosR    float64 // m, GPS position measurement noise
+	GPSVelR    float64 // m/s, GPS velocity measurement noise
+	BaroR      float64 // m, baro measurement noise
+	MagR       float64 // rad, magnetometer yaw noise
+	GravR      float64 // rad, gravity-direction attitude noise
+}
+
+// DefaultConfig returns Pixhawk-class EKF tuning.
+func DefaultConfig() Config {
+	return Config{
+		GyroNoise:  0.03,
+		AccelNoise: 0.6,
+		PosNoise:   0.1,
+		GPSPosR:    1.0,
+		GPSVelR:    0.5,
+		BaroR:      1.5,
+		MagR:       0.05,
+		// Gravity-direction fusion is deliberately weak: during
+		// coordinated acceleration the specific force aligns with the
+		// thrust axis and reads "level" even when tilted, so this
+		// observation may only trim slow gyro drift, never fight the
+		// gyro during maneuvers.
+		GravR: 0.6,
+	}
+}
+
+// EKF is the nine-state filter.
+type EKF struct {
+	cfg Config
+
+	x [n]float64    // state estimate
+	p [n][n]float64 // covariance
+
+	// Live log variables (EKF1 record): exported via RegisterVars.
+	roll, pitch, yaw float64
+	vn, ve, vd       float64
+	pn, pe, pd       float64
+	// innovation magnitudes (NKF4-style health variables).
+	innovPos, innovVel, innovMag float64
+}
+
+// New creates an EKF initialized at the origin with a loose prior.
+func New(cfg Config) *EKF {
+	e := &EKF{cfg: cfg}
+	for i := 0; i < n; i++ {
+		e.p[i][i] = 1.0
+	}
+	e.syncOutputs()
+	return e
+}
+
+// Reset re-initializes the state at the given position with zero velocity
+// and level attitude.
+func (e *EKF) Reset(pos mathx.Vec3, yaw float64) {
+	e.x = [n]float64{}
+	e.x[ixYaw] = yaw
+	e.x[ixPN], e.x[ixPE], e.x[ixPD] = pos.X, pos.Y, pos.Z
+	e.p = [n][n]float64{}
+	for i := 0; i < n; i++ {
+		e.p[i][i] = 1.0
+	}
+	e.syncOutputs()
+}
+
+// Predict propagates the state with one IMU sample: gyro body rates and
+// accelerometer specific force, both in the body frame.
+func (e *EKF) Predict(gyro, accel mathx.Vec3, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	roll, pitch, yaw := e.x[ixRoll], e.x[ixPitch], e.x[ixYaw]
+
+	// Attitude kinematics: Euler-angle rates from body rates.
+	sr, cr := math.Sincos(roll)
+	tp := math.Tan(pitch)
+	cp := math.Cos(pitch)
+	if math.Abs(cp) < 1e-6 {
+		cp = math.Copysign(1e-6, cp)
+	}
+	rollRate := gyro.X + sr*tp*gyro.Y + cr*tp*gyro.Z
+	pitchRate := cr*gyro.Y - sr*gyro.Z
+	yawRate := (sr*gyro.Y + cr*gyro.Z) / cp
+
+	e.x[ixRoll] = mathx.WrapPi(roll + rollRate*dt)
+	e.x[ixPitch] = mathx.Clamp(pitch+pitchRate*dt, -math.Pi/2+1e-3, math.Pi/2-1e-3)
+	e.x[ixYaw] = mathx.WrapPi(yaw + yawRate*dt)
+
+	// Velocity: rotate specific force to world, add gravity.
+	att := mathx.QuatFromEuler(e.x[ixRoll], e.x[ixPitch], e.x[ixYaw])
+	accWorld := att.Rotate(accel).Add(mathx.V3(0, 0, gravity))
+	e.x[ixVN] += accWorld.X * dt
+	e.x[ixVE] += accWorld.Y * dt
+	e.x[ixVD] += accWorld.Z * dt
+
+	// Position integrates velocity.
+	e.x[ixPN] += e.x[ixVN] * dt
+	e.x[ixPE] += e.x[ixVE] * dt
+	e.x[ixPD] += e.x[ixVD] * dt
+
+	// Covariance: F ≈ I with pos←vel coupling; add process noise Q.
+	var f [n][n]float64
+	for i := 0; i < n; i++ {
+		f[i][i] = 1
+	}
+	f[ixPN][ixVN] = dt
+	f[ixPE][ixVE] = dt
+	f[ixPD][ixVD] = dt
+	// Attitude errors tip the thrust vector, coupling into velocity.
+	f[ixVN][ixPitch] = -gravity * dt
+	f[ixVE][ixRoll] = gravity * dt
+
+	e.p = addDiag(matMulT(f, e.p), [n]float64{
+		sq(e.cfg.GyroNoise) * dt, sq(e.cfg.GyroNoise) * dt, sq(e.cfg.GyroNoise) * dt,
+		sq(e.cfg.AccelNoise) * dt, sq(e.cfg.AccelNoise) * dt, sq(e.cfg.AccelNoise) * dt,
+		sq(e.cfg.PosNoise) * dt, sq(e.cfg.PosNoise) * dt, sq(e.cfg.PosNoise) * dt,
+	})
+	e.syncOutputs()
+}
+
+const gravity = 9.80665
+
+// FuseGPS applies a GPS position and velocity fix.
+func (e *EKF) FuseGPS(pos, vel mathx.Vec3) {
+	e.innovPos = math.Hypot(pos.X-e.x[ixPN], pos.Y-e.x[ixPE])
+	e.innovVel = vel.Sub(mathx.V3(e.x[ixVN], e.x[ixVE], e.x[ixVD])).Norm()
+	e.fuseScalar(ixPN, pos.X, sq(e.cfg.GPSPosR))
+	e.fuseScalar(ixPE, pos.Y, sq(e.cfg.GPSPosR))
+	e.fuseScalar(ixPD, pos.Z, sq(e.cfg.GPSPosR*1.5))
+	e.fuseScalar(ixVN, vel.X, sq(e.cfg.GPSVelR))
+	e.fuseScalar(ixVE, vel.Y, sq(e.cfg.GPSVelR))
+	e.fuseScalar(ixVD, vel.Z, sq(e.cfg.GPSVelR))
+	e.syncOutputs()
+}
+
+// FuseBaro applies a barometric altitude (m above origin, positive up).
+func (e *EKF) FuseBaro(alt float64) {
+	e.fuseScalar(ixPD, -alt, sq(e.cfg.BaroR))
+	e.syncOutputs()
+}
+
+// FuseMag applies a magnetometer yaw measurement, handling angle wrap.
+func (e *EKF) FuseMag(yaw float64) {
+	e.innovMag = math.Abs(mathx.WrapPi(yaw - e.x[ixYaw]))
+	// Fold the measurement into the estimate's wrap branch.
+	z := e.x[ixYaw] + mathx.WrapPi(yaw-e.x[ixYaw])
+	e.fuseScalar(ixYaw, z, sq(e.cfg.MagR))
+	e.x[ixYaw] = mathx.WrapPi(e.x[ixYaw])
+	e.syncOutputs()
+}
+
+// FuseGravity applies the accelerometer gravity-direction attitude
+// observation, valid when the vehicle is not accelerating hard. accel is
+// the body-frame specific force.
+func (e *EKF) FuseGravity(accel mathx.Vec3) {
+	norm := accel.Norm()
+	// Reject when the specific force differs too much from 1 g — the
+	// vehicle is maneuvering and gravity direction is unobservable.
+	if norm < 0.8*gravity || norm > 1.2*gravity {
+		return
+	}
+	rollMeas := math.Atan2(-accel.Y, -accel.Z)
+	pitchMeas := math.Atan2(accel.X, math.Hypot(accel.Y, accel.Z))
+	e.fuseScalar(ixRoll, e.x[ixRoll]+mathx.WrapPi(rollMeas-e.x[ixRoll]), sq(e.cfg.GravR))
+	e.fuseScalar(ixPitch, pitchMeas, sq(e.cfg.GravR))
+	e.x[ixRoll] = mathx.WrapPi(e.x[ixRoll])
+	e.syncOutputs()
+}
+
+// fuseScalar performs a sequential scalar Kalman update for a direct state
+// observation x[idx] = z with measurement variance r.
+func (e *EKF) fuseScalar(idx int, z, r float64) {
+	s := e.p[idx][idx] + r
+	if s <= 0 {
+		return
+	}
+	innov := z - e.x[idx]
+	var k [n]float64
+	for i := 0; i < n; i++ {
+		k[i] = e.p[i][idx] / s
+	}
+	for i := 0; i < n; i++ {
+		e.x[i] += k[i] * innov
+	}
+	// P = (I − K·H)·P with H = eᵀ(idx): subtract k·row(idx).
+	row := e.p[idx]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			e.p[i][j] -= k[i] * row[j]
+		}
+	}
+	// Symmetrize to fight numerical drift.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (e.p[i][j] + e.p[j][i])
+			e.p[i][j], e.p[j][i] = v, v
+		}
+	}
+}
+
+func (e *EKF) syncOutputs() {
+	e.roll, e.pitch, e.yaw = e.x[ixRoll], e.x[ixPitch], e.x[ixYaw]
+	e.vn, e.ve, e.vd = e.x[ixVN], e.x[ixVE], e.x[ixVD]
+	e.pn, e.pe, e.pd = e.x[ixPN], e.x[ixPE], e.x[ixPD]
+}
+
+// Attitude returns the estimated (roll, pitch, yaw) in radians.
+func (e *EKF) Attitude() (roll, pitch, yaw float64) {
+	return e.x[ixRoll], e.x[ixPitch], e.x[ixYaw]
+}
+
+// Velocity returns the estimated NED velocity.
+func (e *EKF) Velocity() mathx.Vec3 {
+	return mathx.V3(e.x[ixVN], e.x[ixVE], e.x[ixVD])
+}
+
+// Position returns the estimated NED position.
+func (e *EKF) Position() mathx.Vec3 {
+	return mathx.V3(e.x[ixPN], e.x[ixPE], e.x[ixPD])
+}
+
+// Covariance returns the diagonal of the covariance matrix.
+func (e *EKF) Covariance() [n]float64 {
+	var d [n]float64
+	for i := 0; i < n; i++ {
+		d[i] = e.p[i][i]
+	}
+	return d
+}
+
+// RegisterVars exposes the EKF1 log block and the NKF4-style innovation
+// health variables.
+func (e *EKF) RegisterVars(set *vars.Set) error {
+	entries := []struct {
+		name string
+		ptr  *float64
+	}{
+		{"EKF1.Roll", &e.roll},
+		{"EKF1.Pitch", &e.pitch},
+		{"EKF1.Yaw", &e.yaw},
+		{"EKF1.VN", &e.vn},
+		{"EKF1.VE", &e.ve},
+		{"EKF1.VD", &e.vd},
+		{"EKF1.PN", &e.pn},
+		{"EKF1.PE", &e.pe},
+		{"EKF1.PD", &e.pd},
+		{"NKF4.IPos", &e.innovPos},
+		{"NKF4.IVel", &e.innovVel},
+		{"NKF4.IMag", &e.innovMag},
+	}
+	for _, en := range entries {
+		if err := set.Register(en.name, vars.KindDynamic, en.ptr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- small fixed-size matrix helpers ---
+
+func sq(v float64) float64 { return v * v }
+
+// matMulT computes F·P·Fᵀ for the covariance prediction.
+func matMulT(f, p [n][n]float64) [n][n]float64 {
+	var fp [n][n]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += f[i][k] * p[k][j]
+			}
+			fp[i][j] = s
+		}
+	}
+	var out [n][n]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += fp[i][k] * f[j][k]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+func addDiag(m [n][n]float64, d [n]float64) [n][n]float64 {
+	for i := 0; i < n; i++ {
+		m[i][i] += d[i]
+	}
+	return m
+}

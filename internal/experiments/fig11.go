@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/ares-cps/ares/internal/core"
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/rl"
+	"github.com/ares-cps/ares/internal/sim"
+)
+
+// Fig11Scenario is one controlled-failure scenario: a policy evaluated
+// against the forbidden-zone world.
+type Fig11Scenario struct {
+	Name string
+	// DistTrace is the distance to the forbidden zone per 0.3 s step.
+	DistTrace []float64
+	// MinDist is the closest approach; Reached reports contact.
+	MinDist float64
+	Reached bool
+	Crashed bool
+	// HitFirst/HitLast are the goal-contact rates over the first and
+	// last fifth of training episodes (returns include ±∞ terminal
+	// rewards, so rates describe the curve better than means).
+	HitFirst, HitLast float64
+}
+
+// Fig11Result reproduces Figure 11: the RL-based controlled failure
+// steering the vehicle into a forbidden zone beside its loiter point.
+type Fig11Result struct {
+	Scenarios []Fig11Scenario
+	Episodes  int
+	Obstacle  sim.Obstacle
+}
+
+// Name implements Result.
+func (*Fig11Result) Name() string { return "fig11" }
+
+// fig11Obstacle returns the forbidden zone: a wall 8 m east of the
+// mission's final loiter point.
+func fig11Obstacle() sim.Obstacle {
+	return sim.Obstacle{
+		Name: "forbidden-zone",
+		Box: mathx.AABB{
+			Min: mathx.V3(35, 8, -20),
+			Max: mathx.V3(45, 12, 0),
+		},
+	}
+}
+
+// hitRate counts the fraction of episodes that ended at the goal (+∞
+// return).
+func hitRate(returns []float64) float64 {
+	if len(returns) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, r := range returns {
+		if math.IsInf(r, 1) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(returns))
+}
+
+func fig11Env(seed int64) (*core.CrashEnv, error) {
+	return core.NewCrashEnv(core.EnvConfig{
+		Variable:  "CMD.Roll",
+		PerTick:   true,
+		MaxAction: 0.6,
+		Mission:   firmware.LineMission(40, 10),
+		Seed:      seed,
+	}, fig11Obstacle())
+}
+
+// evalCrash rolls out a policy and records the distance profile.
+func evalCrash(env *core.CrashEnv, policy func([]float64) float64, steps int) Fig11Scenario {
+	sc := Fig11Scenario{MinDist: math.Inf(1)}
+	obs := env.Reset()
+	for i := 0; i < steps; i++ {
+		action := policy(obs)
+		next, reward, done := env.Step(action)
+		obs = next
+		d := env.GoalDistance()
+		sc.DistTrace = append(sc.DistTrace, d)
+		if d < sc.MinDist {
+			sc.MinDist = d
+		}
+		if done {
+			if math.IsInf(reward, 1) {
+				sc.Reached = true
+				sc.MinDist = 0
+			}
+			break
+		}
+	}
+	sc.Crashed, _ = env.Firmware().Quad().Crashed()
+	return sc
+}
+
+// RunFig11 trains the controlled-failure agent and evaluates it against
+// baselines.
+func RunFig11(s *Suite) (*Fig11Result, error) {
+	episodes := s.episodes()
+	steps := 120
+	if s.Quick {
+		steps = 40
+	}
+	res := &Fig11Result{Episodes: episodes, Obstacle: fig11Obstacle()}
+
+	env, err := fig11Env(s.Seed + 800)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := env.ActionBounds()
+	agent := rl.NewReinforce(env.ObservationSize(), lo, hi, s.Seed+1)
+	train := agent.Train(env, episodes, steps)
+	fifth := episodes / 5
+	if fifth < 1 {
+		fifth = 1
+	}
+	trained := evalCrash(env, agent.Policy.Mean, steps)
+	trained.Name = "RL-trained"
+	trained.HitFirst = hitRate(train.Returns[:fifth])
+	trained.HitLast = hitRate(train.Returns[len(train.Returns)-fifth:])
+	res.Scenarios = append(res.Scenarios, trained)
+
+	// Constant maximum push (open-loop).
+	envC, err := fig11Env(s.Seed + 900)
+	if err != nil {
+		return nil, err
+	}
+	constant := evalCrash(envC, func([]float64) float64 { return hi }, steps)
+	constant.Name = "constant-push"
+	res.Scenarios = append(res.Scenarios, constant)
+
+	// Random policy.
+	envR, err := fig11Env(s.Seed + 1000)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 11))
+	random := evalCrash(envR, func([]float64) float64 {
+		return lo + rng.Float64()*(hi-lo)
+	}, steps)
+	random.Name = "random"
+	res.Scenarios = append(res.Scenarios, random)
+
+	// Benign (no manipulation).
+	envB, err := fig11Env(s.Seed + 1100)
+	if err != nil {
+		return nil, err
+	}
+	benign := evalCrash(envB, func([]float64) float64 { return 0 }, steps)
+	benign.Name = "benign"
+	res.Scenarios = append(res.Scenarios, benign)
+	return res, nil
+}
+
+// WriteText implements Result.
+func (r *Fig11Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Figure 11 — RL-based controlled failure (CMD.Roll offsets, %d episodes)\n",
+		r.Episodes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"forbidden zone: x∈[%.0f,%.0f] y∈[%.0f,%.0f]\n",
+		r.Obstacle.Box.Min.X, r.Obstacle.Box.Max.X,
+		r.Obstacle.Box.Min.Y, r.Obstacle.Box.Max.Y); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %10s %8s %8s %10s %10s\n",
+		"scenario", "minDist(m)", "reached", "crashed", "hit@0", "hit@end"); err != nil {
+		return err
+	}
+	for _, sc := range r.Scenarios {
+		if _, err := fmt.Fprintf(w, "%-14s %10.2f %8v %8v %9.0f%% %9.0f%%\n",
+			sc.Name, sc.MinDist, sc.Reached, sc.Crashed,
+			sc.HitFirst*100, sc.HitLast*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *Fig11Result) WriteCSV(dir string) error {
+	for _, sc := range r.Scenarios {
+		rows := make([][]float64, 0, len(sc.DistTrace))
+		for i, d := range sc.DistTrace {
+			rows = append(rows, []float64{float64(i) * 0.3, d})
+		}
+		name := fmt.Sprintf("fig11_%s.csv", sc.Name)
+		if err := writeCSVFile(dir, name, []string{"t", "distance"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import "fmt"
+
+// Runner executes one named experiment against a suite.
+type Runner func(*Suite) (Result, error)
+
+// Registry maps experiment ids to runners, in the paper's presentation
+// order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	wrap := func(f interface{}) Runner {
+		switch fn := f.(type) {
+		case func(*Suite) (*Table1Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Table2Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig3Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig5Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig6Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig7Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig8Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig9Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig10Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*Fig11Result, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*AblationResult, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*CountermeasureResult, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*CrossPlatformResult, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		case func(*Suite) (*FuzzBaselineResult, error):
+			return func(s *Suite) (Result, error) { return fn(s) }
+		default:
+			panic(fmt.Sprintf("experiments: unhandled runner type %T", f))
+		}
+	}
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"table1", wrap(RunTable1)},
+		{"table2", wrap(RunTable2)},
+		{"fig3", wrap(RunFig3)},
+		{"fig5", wrap(RunFig5)},
+		{"fig6", wrap(RunFig6)},
+		{"fig7", wrap(RunFig7)},
+		{"fig8", wrap(RunFig8)},
+		{"fig9", wrap(RunFig9)},
+		{"fig10", wrap(RunFig10)},
+		{"fig11", wrap(RunFig11)},
+		{"ablation", wrap(RunAblation)},
+		{"countermeasure", wrap(RunCountermeasure)},
+		{"crossplatform", wrap(RunCrossPlatform)},
+		{"fuzzbaseline", wrap(RunFuzzBaseline)},
+	}
+}
+
+// Lookup finds a runner by id.
+func Lookup(id string) (Runner, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,352 @@
+package firmware
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/dataflash"
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/mavlink"
+)
+
+func newTestFirmware(t *testing.T, cfg Config) *Firmware {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFirmwareAssembles(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if f.Vars().Len() < 80 {
+		t.Errorf("variable set has %d entries, want a rich set (≥80)", f.Vars().Len())
+	}
+	if missing := f.Memory().UnassignedVars(); len(missing) != 0 {
+		t.Errorf("unassigned variables: %v", missing)
+	}
+	// The stabilizer region holds the PID intermediates, per the paper.
+	stab := f.Memory().VarsInRegion(RegionStabilizer)
+	found := false
+	for _, v := range stab {
+		if v == "PIDR.INTEG" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PIDR.INTEG not in stabilizer region: %v", stab)
+	}
+}
+
+func TestFirmwareTakeoffAndHover(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(12)
+	if crashed, reason := f.Quad().Crashed(); crashed {
+		t.Fatalf("crashed during takeoff: %s", reason)
+	}
+	if alt := f.Quad().State().Altitude(); math.Abs(alt-10) > 1.0 {
+		t.Errorf("altitude after takeoff = %v, want ~10", alt)
+	}
+	if f.Mode() != ModeGuided || !f.Armed() {
+		t.Errorf("mode = %v, armed = %v", f.Mode(), f.Armed())
+	}
+}
+
+func TestFirmwareFliesMission(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(10)
+	f.LoadMission(SquareMission(25, 10))
+	if err := f.StartMission(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90*400 && !f.Mission().Complete(); i++ {
+		f.Step()
+	}
+	if crashed, reason := f.Quad().Crashed(); crashed {
+		t.Fatalf("crashed during mission: %s", reason)
+	}
+	if !f.Mission().Complete() {
+		t.Fatalf("mission incomplete after 90 s; at waypoint %d, pos %v",
+			f.Mission().CurrentIndex(), f.Quad().State().Pos)
+	}
+}
+
+func TestFirmwareMissionRequiresWaypoints(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if err := f.StartMission(); err == nil {
+		t.Error("empty mission started")
+	}
+}
+
+func TestFirmwareLanding(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if err := f.Takeoff(8); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(10)
+	f.SetMode(ModeLand)
+	f.RunFor(25)
+	if f.Armed() {
+		t.Error("still armed after landing")
+	}
+	if alt := f.Quad().State().Altitude(); alt > 0.5 {
+		t.Errorf("altitude after landing = %v", alt)
+	}
+	if crashed, reason := f.Quad().Crashed(); crashed {
+		t.Errorf("landing crashed: %s", reason)
+	}
+}
+
+func TestFirmwareRTLReturnsHome(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(8)
+	f.SetGuidedTarget(mathx.V3(20, 0, -10))
+	f.RunFor(15)
+	if f.Quad().State().Pos.XY() < 15 {
+		t.Fatalf("vehicle did not travel out: %v", f.Quad().State().Pos)
+	}
+	f.SetGuidedTarget(f.Quad().State().Pos) // RTL keeps guided altitude
+	f.SetMode(ModeRTL)
+	f.RunFor(40)
+	pos := f.Quad().State().Pos
+	// RTL flies home then hands off to LAND, which drifts slightly while
+	// descending; "home" therefore means within a few meters.
+	if pos.XY() > 4 {
+		t.Errorf("RTL did not return home: %v", pos)
+	}
+	if crashed, reason := f.Quad().Crashed(); crashed {
+		t.Errorf("RTL crashed: %s", reason)
+	}
+}
+
+func TestFirmwareParamSetViaGCS(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	f.Enqueue(&mavlink.ParamSet{Name: "ATC_RAT_RLL_P", Value: 0.2})
+	f.Step()
+	replies := f.DrainOutbox()
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d, want 1", len(replies))
+	}
+	pv, ok := replies[0].(*mavlink.ParamValue)
+	if !ok || !pv.OK || pv.Value != 0.2 {
+		t.Errorf("reply = %+v", replies[0])
+	}
+	// The live controller gain changed.
+	if f.Attitude().RateRoll.KP != 0.2 {
+		t.Errorf("live KP = %v, want 0.2", f.Attitude().RateRoll.KP)
+	}
+	// Out-of-range set is rejected but still replied to.
+	f.Enqueue(&mavlink.ParamSet{Name: "ATC_RAT_RLL_P", Value: 10})
+	f.Step()
+	replies = f.DrainOutbox()
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	if pv := replies[0].(*mavlink.ParamValue); pv.OK {
+		t.Error("out-of-range PARAM_SET acknowledged OK")
+	}
+	if f.Attitude().RateRoll.KP != 0.2 {
+		t.Error("rejected set still changed the gain")
+	}
+}
+
+func TestFirmwareCommandsViaGCS(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	f.Enqueue(&mavlink.CommandLong{Command: mavlink.CmdTakeoff,
+		Params: [7]float64{0, 0, 0, 0, 0, 0, 12}})
+	f.Step()
+	replies := f.DrainOutbox()
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	ack := replies[0].(*mavlink.CommandAck)
+	if ack.Result != 0 {
+		t.Errorf("takeoff rejected: %+v", ack)
+	}
+	if !f.Armed() || f.Mode() != ModeGuided {
+		t.Errorf("takeoff did not arm+guide: armed=%v mode=%v", f.Armed(), f.Mode())
+	}
+	// Unknown command returns unsupported.
+	f.Enqueue(&mavlink.CommandLong{Command: 999})
+	f.Step()
+	replies = f.DrainOutbox()
+	if ack := replies[0].(*mavlink.CommandAck); ack.Result != 3 {
+		t.Errorf("unknown command result = %d, want 3", ack.Result)
+	}
+}
+
+func TestFirmwareMissionUploadViaGCS(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	f.Enqueue(&mavlink.MissionItem{Seq: 0, X: 0, Y: 0, Z: -10})
+	f.Enqueue(&mavlink.MissionItem{Seq: 1, X: 30, Y: 0, Z: -10, Hold: 1})
+	f.Step()
+	replies := f.DrainOutbox()
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	ack := replies[0].(*mavlink.MissionAck)
+	if !ack.OK || ack.Count != 2 {
+		t.Errorf("mission ack = %+v", ack)
+	}
+	if f.Mission().Len() != 2 {
+		t.Errorf("mission length = %d", f.Mission().Len())
+	}
+}
+
+func TestFirmwareHeartbeatAndParamRead(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	f.Enqueue(&mavlink.Heartbeat{})
+	f.Enqueue(&mavlink.ParamRequestRead{Name: "WPNAV_SPEED"})
+	f.Step()
+	replies := f.DrainOutbox()
+	if len(replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(replies))
+	}
+	if _, ok := replies[0].(*mavlink.Heartbeat); !ok {
+		t.Errorf("first reply %T, want heartbeat", replies[0])
+	}
+	pv := replies[1].(*mavlink.ParamValue)
+	if !pv.OK || pv.Value != 500 {
+		t.Errorf("param read = %+v", pv)
+	}
+}
+
+func TestFirmwareDataflashLogging(t *testing.T) {
+	var buf bytes.Buffer
+	w := dataflash.NewWriter(&buf)
+	f := newTestFirmware(t, Config{LogWriter: w})
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := dataflash.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 Hz for 5 s: ~80 samples of each message type.
+	counts := make(map[string]int)
+	for _, rec := range log.Records {
+		counts[rec.Name]++
+	}
+	for _, name := range []string{"ATT", "IMU", "PIDR", "EKF1", "NTUN", "RCOU", "GPS"} {
+		if counts[name] < 70 {
+			t.Errorf("%s records = %d, want ≥70", name, counts[name])
+		}
+	}
+	// The logged roll must track the true roll scale (degrees, small).
+	_, rolls := log.Series("ATT.Roll")
+	for _, v := range rolls {
+		if math.Abs(v) > 45 {
+			t.Fatalf("logged roll %v deg out of plausible hover range", v)
+		}
+	}
+}
+
+func TestFirmwareVariableManipulationTiltsVehicle(t *testing.T) {
+	// The core threat-model path: writing PIDR.INTEG through the
+	// stabilizer region's memory view changes the real flight.
+	f := newTestFirmware(t, Config{})
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(10)
+	ref, err := f.Memory().Access(RegionStabilizer, "PIDR.INTEG", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistently bias the roll integrator. The position controller
+	// fights back (that compensation is exactly what the paper's ML
+	// monitor watches), so assert both the attitude disturbance and the
+	// residual drift.
+	start := f.Quad().State().Pos
+	var maxRoll float64
+	for i := 0; i < 8*400; i++ {
+		ref.Set(0.3)
+		f.Step()
+		roll, _, _ := f.Quad().State().Euler()
+		if r := math.Abs(roll); r > maxRoll {
+			maxRoll = r
+		}
+	}
+	if maxRoll < mathx.Rad(5) {
+		t.Errorf("max roll under manipulation = %.1f deg, want > 5",
+			mathx.Deg(maxRoll))
+	}
+	drift := f.Quad().State().Pos.Sub(start).XY()
+	if drift < 0.5 {
+		t.Errorf("integrator manipulation produced %v m drift, want > 0.5", drift)
+	}
+}
+
+func TestFirmwareBatteryFailsafe(t *testing.T) {
+	params := Config{}
+	f := newTestFirmware(t, params)
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(5)
+	// Force the failsafe threshold above the current voltage.
+	if err := f.Params().Set("BATT_LOW_VOLT", 49); err != nil {
+		t.Fatal(err)
+	}
+	f.Step()
+	if f.Mode() != ModeLand {
+		t.Errorf("mode = %v, want LAND after battery failsafe", f.Mode())
+	}
+}
+
+func TestFirmwareReset(t *testing.T) {
+	f := newTestFirmware(t, Config{})
+	if err := f.Takeoff(10); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(5)
+	f.Reset(mathx.V3(1, 2, 0))
+	if f.Armed() || f.Mode() != ModeStabilize {
+		t.Error("Reset left armed/mode state")
+	}
+	if f.Quad().State().Pos != mathx.V3(1, 2, 0) {
+		t.Errorf("Reset pos = %v", f.Quad().State().Pos)
+	}
+	if f.Time() != 0 {
+		t.Errorf("Reset time = %v", f.Time())
+	}
+	// Flyable again after reset.
+	if err := f.Takeoff(5); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(8)
+	if crashed, _ := f.Quad().Crashed(); crashed {
+		t.Error("crashed after reset + takeoff")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		mode Mode
+		want string
+	}{
+		{ModeStabilize, "STABILIZE"}, {ModeGuided, "GUIDED"},
+		{ModeAuto, "AUTO"}, {ModeLoiter, "LOITER"},
+		{ModeRTL, "RTL"}, {ModeLand, "LAND"}, {Mode(42), "MODE(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.String(); got != tt.want {
+			t.Errorf("mode = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package firmware
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/vars"
+)
+
+func newTestMap(t *testing.T) (*MemoryMap, *vars.Set, []float64) {
+	t.Helper()
+	set := vars.NewSet()
+	vals := make([]float64, 3)
+	set.MustRegister("PIDR.INTEG", vars.KindIntermediate, &vals[0])
+	set.MustRegister("IMU.GyrX", vars.KindSensor, &vals[1])
+	set.MustRegister("EKF1.Roll", vars.KindDynamic, &vals[2])
+	m := NewMemoryMap(set)
+	if err := m.Assign("PIDR.INTEG", RegionStabilizer); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("IMU.GyrX", RegionDrivers); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("EKF1.Roll", RegionEstimator); err != nil {
+		t.Fatal(err)
+	}
+	return m, set, vals
+}
+
+func TestMemoryMapAssignAndLookup(t *testing.T) {
+	m, _, _ := newTestMap(t)
+	region, ok := m.RegionOf("PIDR.INTEG")
+	if !ok || region != RegionStabilizer {
+		t.Errorf("RegionOf = %q, %v", region, ok)
+	}
+	if _, ok := m.RegionOf("missing"); ok {
+		t.Error("RegionOf found missing variable")
+	}
+	got := m.VarsInRegion(RegionStabilizer)
+	if len(got) != 1 || got[0] != "PIDR.INTEG" {
+		t.Errorf("VarsInRegion = %v", got)
+	}
+	if len(m.Regions()) != 6 {
+		t.Errorf("Regions = %v", m.Regions())
+	}
+}
+
+func TestMemoryMapAssignErrors(t *testing.T) {
+	m, _, _ := newTestMap(t)
+	if err := m.Assign("PIDR.INTEG", "nowhere"); err == nil {
+		t.Error("unknown region accepted")
+	}
+	if err := m.Assign("missing", RegionStabilizer); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestMemoryMapAccessEnforcement(t *testing.T) {
+	m, _, vals := newTestMap(t)
+	// Same-region access succeeds — the compromised region's variables
+	// are fully manipulable.
+	ref, err := m.Access(RegionStabilizer, "PIDR.INTEG", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Set(0.7)
+	if vals[0] != 0.7 {
+		t.Errorf("write through access ref failed: %v", vals[0])
+	}
+	// Cross-region access raises an MPU violation.
+	_, err = m.Access(RegionStabilizer, "IMU.GyrX", false)
+	var accessErr *AccessError
+	if !errors.As(err, &accessErr) {
+		t.Fatalf("cross-region access error = %v, want AccessError", err)
+	}
+	if accessErr.From != RegionStabilizer || accessErr.Home != RegionDrivers {
+		t.Errorf("AccessError fields: %+v", accessErr)
+	}
+	if accessErr.Error() == "" {
+		t.Error("empty error string")
+	}
+	// Unknown variable.
+	if _, err := m.Access(RegionStabilizer, "nope", false); err == nil {
+		t.Error("unknown variable access accepted")
+	}
+}
+
+func TestMemoryMapUnassignedVars(t *testing.T) {
+	set := vars.NewSet()
+	v := 0.0
+	set.MustRegister("LONELY.VAR", vars.KindParam, &v)
+	m := NewMemoryMap(set)
+	missing := m.UnassignedVars()
+	if len(missing) != 1 || missing[0] != "LONELY.VAR" {
+		t.Errorf("UnassignedVars = %v", missing)
+	}
+	if err := m.Assign("LONELY.VAR", RegionConfig); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.UnassignedVars()) != 0 {
+		t.Error("assigned variable still reported missing")
+	}
+}
+
+func TestMemoryMapAddRegion(t *testing.T) {
+	set := vars.NewSet()
+	m := NewMemoryMap(set)
+	m.AddRegion("custom", PermReadOnly)
+	found := false
+	for _, r := range m.Regions() {
+		if r == "custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("custom region not added")
+	}
+}
+
+func TestRegionPermString(t *testing.T) {
+	tests := []struct {
+		perm RegionPerm
+		want string
+	}{
+		{PermReadWrite, "rw"},
+		{PermReadOnly, "ro"},
+		{PermNoAccess, "none"},
+		{RegionPerm(9), "perm(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.perm.String(); got != tt.want {
+			t.Errorf("perm = %q, want %q", got, tt.want)
+		}
+	}
+}

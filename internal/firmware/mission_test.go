@@ -1,0 +1,104 @@
+package firmware
+
+import (
+	"testing"
+
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+func TestMissionProgression(t *testing.T) {
+	m := NewMission([]Waypoint{
+		{Pos: mathx.V3(0, 0, -10)},
+		{Pos: mathx.V3(10, 0, -10)},
+		{Pos: mathx.V3(10, 10, -10)},
+	})
+	if m.Target() != mathx.V3(0, 0, -10) {
+		t.Errorf("initial target = %v", m.Target())
+	}
+	// Far away: no advance.
+	if m.Update(mathx.V3(50, 0, -10), 0) {
+		t.Error("advanced while far from waypoint")
+	}
+	// Within radius: advance.
+	if !m.Update(mathx.V3(0.5, 0, -10), 1) {
+		t.Error("did not advance at waypoint")
+	}
+	if m.CurrentIndex() != 1 {
+		t.Errorf("index = %d, want 1", m.CurrentIndex())
+	}
+	m.Update(mathx.V3(10, 0.5, -10), 2)
+	m.Update(mathx.V3(10, 9.5, -10), 3)
+	if !m.Complete() {
+		t.Error("mission not complete after last waypoint")
+	}
+	// After completion target stays at the final waypoint.
+	if m.Target() != mathx.V3(10, 10, -10) {
+		t.Errorf("post-completion target = %v", m.Target())
+	}
+	if m.Update(mathx.V3(10, 10, -10), 4) {
+		t.Error("completed mission still advancing")
+	}
+}
+
+func TestMissionHold(t *testing.T) {
+	m := NewMission([]Waypoint{
+		{Pos: mathx.V3(0, 0, -10), HoldS: 2},
+		{Pos: mathx.V3(10, 0, -10)},
+	})
+	// Reach the first waypoint at t=1: hold begins.
+	if !m.Update(mathx.V3(0, 0, -10), 1) {
+		t.Fatal("waypoint not reached")
+	}
+	if m.CurrentIndex() != 0 {
+		t.Error("advanced during hold")
+	}
+	m.Update(mathx.V3(0, 0, -10), 2) // still holding
+	if m.CurrentIndex() != 0 {
+		t.Error("advanced before hold elapsed")
+	}
+	m.Update(mathx.V3(0, 0, -10), 3.1) // hold elapsed
+	if m.CurrentIndex() != 1 {
+		t.Errorf("index = %d after hold, want 1", m.CurrentIndex())
+	}
+}
+
+func TestMissionEmptyAndReset(t *testing.T) {
+	m := NewMission(nil)
+	if m.Update(mathx.Vec3{}, 0) {
+		t.Error("empty mission advanced")
+	}
+	if m.Target() != (mathx.Vec3{}) {
+		t.Error("empty mission target nonzero")
+	}
+	sq := SquareMission(40, 10)
+	if sq.Len() != 5 {
+		t.Errorf("square mission has %d waypoints", sq.Len())
+	}
+	sq.Update(mathx.V3(0, 0, -10), 0)
+	sq.Reset()
+	if sq.CurrentIndex() != 0 || sq.Complete() {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestMissionPath(t *testing.T) {
+	m := LineMission(50, 10)
+	path := m.Path()
+	if len(path) != 2 || path[1] != mathx.V3(50, 0, -10) {
+		t.Errorf("path = %v", path)
+	}
+	// Mutating the returned path must not affect the mission.
+	path[0] = mathx.V3(99, 99, 99)
+	if m.Target() == mathx.V3(99, 99, 99) {
+		t.Error("Path leaked internal state")
+	}
+}
+
+func TestMissionWaypointsCopied(t *testing.T) {
+	wps := []Waypoint{{Pos: mathx.V3(1, 2, 3)}}
+	m := NewMission(wps)
+	wps[0].Pos = mathx.V3(9, 9, 9)
+	if m.Target() != mathx.V3(1, 2, 3) {
+		t.Error("mission shares caller's slice")
+	}
+}

@@ -1,0 +1,181 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(4, -5, 6)
+
+	if got := a.Add(b); got != V3(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V3(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Hadamard(b); got != V3(4, -10, 18) {
+		t.Errorf("Hadamard = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x, y, z := V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x × y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y × z = %v, want x", got)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z × x = %v, want y", got)
+	}
+}
+
+func TestVec3CrossOrthogonality(t *testing.T) {
+	// Property: v × w is orthogonal to both operands.
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-9 && math.Abs(c.Dot(b))/scale < 1e-9
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(r.NormFloat64() * 10)
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3NormAndNormalize(t *testing.T) {
+	v := V3(3, 4, 0)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v, want 25", got)
+	}
+	n := v.Normalized()
+	if !ApproxEqual(n.Norm(), 1, 1e-12) {
+		t.Errorf("Normalized().Norm() = %v, want 1", n.Norm())
+	}
+	// Zero vector stays zero rather than producing NaN.
+	if got := V3(0, 0, 0).Normalized(); got != V3(0, 0, 0) {
+		t.Errorf("zero Normalized = %v", got)
+	}
+}
+
+func TestVec3LerpAndDist(t *testing.T) {
+	a, b := V3(0, 0, 0), V3(10, 0, 0)
+	if got := a.Lerp(b, 0.25); got != V3(2.5, 0, 0) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Dist(b); got != 10 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := V3(1, 1, 0).XY(); !ApproxEqual(got, math.Sqrt2, 1e-12) {
+		t.Errorf("XY = %v", got)
+	}
+}
+
+func TestVec3IsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestMat3Identity(t *testing.T) {
+	v := V3(1, 2, 3)
+	if got := Identity3().MulVec(v); got != v {
+		t.Errorf("I·v = %v, want %v", got, v)
+	}
+	if got := Identity3().Det(); got != 1 {
+		t.Errorf("det(I) = %v", got)
+	}
+}
+
+func TestMat3MulAndTranspose(t *testing.T) {
+	a := Mat3{M: [3][3]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}}
+	at := a.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if at.M[i][j] != a.M[j][i] {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	// (A·I) == A
+	ai := a.Mul(Identity3())
+	if ai != a {
+		t.Errorf("A·I = %v, want %v", ai, a)
+	}
+}
+
+func TestMat3Inverse(t *testing.T) {
+	a := Mat3{M: [3][3]float64{{2, 0, 0}, {0, 4, 0}, {0, 1, 8}}}
+	inv, ok := a.Inverse()
+	if !ok {
+		t.Fatal("invertible matrix reported singular")
+	}
+	prod := a.Mul(inv)
+	id := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !ApproxEqual(prod.M[i][j], id.M[i][j], 1e-12) {
+				t.Fatalf("A·A⁻¹[%d][%d] = %v", i, j, prod.M[i][j])
+			}
+		}
+	}
+	// Singular matrix.
+	sing := Mat3{M: [3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}}
+	if _, ok := sing.Inverse(); ok {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestSkewMatchesCross(t *testing.T) {
+	v, w := V3(1, -2, 0.5), V3(3, 0.25, -1)
+	got := Skew(v).MulVec(w)
+	want := v.Cross(w)
+	if got.Dist(want) > 1e-12 {
+		t.Errorf("Skew(v)·w = %v, want %v", got, want)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag(2, 3, 4)
+	if got := d.MulVec(V3(1, 1, 1)); got != V3(2, 3, 4) {
+		t.Errorf("Diag·1 = %v", got)
+	}
+}

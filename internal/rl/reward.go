@@ -1,0 +1,88 @@
+package rl
+
+import "math"
+
+// UncontrolledReward implements Equation 4: the agent is rewarded for
+// increasing the vehicle's minimum distance d to the mission path, with a
+// −∞ terminal penalty when a deployed detector raises an alarm.
+//
+//	r_t = +Δd  if d_t > d_{t−1} and d_t > ε
+//	r_t = −Δd  if d_t < d_{t−1} or  d_t < ε
+//	r_t = −∞   if an anomaly is detected
+type UncontrolledReward struct {
+	// Epsilon is the vehicle radius (the paper uses 0.01).
+	Epsilon float64
+	prev    float64
+	started bool
+}
+
+// NewUncontrolledReward returns the Equation 4 reward with ε = 0.01.
+func NewUncontrolledReward() *UncontrolledReward {
+	return &UncontrolledReward{Epsilon: 0.01}
+}
+
+// Reset clears episode state.
+func (u *UncontrolledReward) Reset() { u.prev, u.started = 0, false }
+
+// Step scores one observation of the path distance. detected signals a
+// defense alarm.
+func (u *UncontrolledReward) Step(dist float64, detected bool) (reward float64, done bool) {
+	if detected {
+		return math.Inf(-1), true
+	}
+	if !u.started {
+		u.prev = dist
+		u.started = true
+		return 0, false
+	}
+	delta := math.Abs(dist - u.prev)
+	defer func() { u.prev = dist }()
+	if dist > u.prev && dist > u.Epsilon {
+		return +delta, false
+	}
+	return -delta, false
+}
+
+// ControlledReward implements Equation 5: the agent is rewarded for
+// approaching a goal inside a forbidden zone, with a +∞ terminal reward on
+// contact and −∞ on detection.
+//
+//	r_t = +Δd  if d_t < d_{t−1} and d_t > ε
+//	r_t = −Δd  if d_t > d_{t−1}
+//	r_t = +∞   if d_t ≤ ε (goal reached — e.g. obstacle hit)
+//	r_t = −∞   if an anomaly is detected
+type ControlledReward struct {
+	// Epsilon is the contact distance.
+	Epsilon float64
+	prev    float64
+	started bool
+}
+
+// NewControlledReward returns the Equation 5 reward with ε = 0.01.
+func NewControlledReward() *ControlledReward {
+	return &ControlledReward{Epsilon: 0.01}
+}
+
+// Reset clears episode state.
+func (c *ControlledReward) Reset() { c.prev, c.started = 0, false }
+
+// Step scores one observation of the distance to the goal.
+func (c *ControlledReward) Step(dist float64, detected bool) (reward float64, done bool) {
+	if detected {
+		return math.Inf(-1), true
+	}
+	if dist <= c.Epsilon {
+		return math.Inf(1), true
+	}
+	if !c.started {
+		c.prev = dist
+		c.started = true
+		return 0, false
+	}
+	delta := math.Abs(dist - c.prev)
+	defer func() { c.prev = dist }()
+	if dist < c.prev {
+		return +delta, false
+	}
+	return -delta, false
+}

@@ -1,0 +1,233 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/sim"
+)
+
+// noiselessConfig returns a config with all noise and bias disabled so
+// sensor outputs equal ground truth.
+func noiselessConfig() Config {
+	return Config{GPSRateHz: 5, Seed: 1}
+}
+
+func restingState() sim.State {
+	return sim.State{Att: mathx.QuatIdentity()}
+}
+
+func TestIMUAtRestReadsGravity(t *testing.T) {
+	s := NewSuite(noiselessConfig())
+	// At rest the true world acceleration is zero, so the accelerometer
+	// reads the reaction to gravity: (0, 0, -g) in FRD body frame.
+	r := s.Sample(0, restingState(), mathx.Vec3{}, sim.Battery{})
+	want := mathx.V3(0, 0, -sim.Gravity)
+	if r.IMU.Accel.Dist(want) > 1e-9 {
+		t.Errorf("accel at rest = %v, want %v", r.IMU.Accel, want)
+	}
+	if r.IMU.Gyro.Norm() > 1e-12 {
+		t.Errorf("gyro at rest = %v, want 0", r.IMU.Gyro)
+	}
+}
+
+func TestIMUFreeFallReadsZero(t *testing.T) {
+	s := NewSuite(noiselessConfig())
+	accel := mathx.V3(0, 0, sim.Gravity) // free fall: a = g downward
+	r := s.Sample(0, restingState(), accel, sim.Battery{})
+	if r.IMU.Accel.Norm() > 1e-9 {
+		t.Errorf("accel in free fall = %v, want 0", r.IMU.Accel)
+	}
+}
+
+func TestIMURotatedFrame(t *testing.T) {
+	s := NewSuite(noiselessConfig())
+	// Vehicle rolled 90°: body Z axis points along world +Y, so gravity's
+	// reaction appears along the body -Y axis... verify via rotation math.
+	st := sim.State{Att: mathx.QuatFromEuler(math.Pi/2, 0, 0)}
+	r := s.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	want := st.Att.RotateInverse(mathx.V3(0, 0, -sim.Gravity))
+	if r.IMU.Accel.Dist(want) > 1e-9 {
+		t.Errorf("rolled accel = %v, want %v", r.IMU.Accel, want)
+	}
+}
+
+func TestGyroMeasuresBodyRates(t *testing.T) {
+	s := NewSuite(noiselessConfig())
+	st := restingState()
+	st.Omega = mathx.V3(0.1, -0.2, 0.3)
+	r := s.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	if r.IMU.Gyro.Dist(st.Omega) > 1e-12 {
+		t.Errorf("gyro = %v, want %v", r.IMU.Gyro, st.Omega)
+	}
+}
+
+func TestBaroAndMag(t *testing.T) {
+	s := NewSuite(noiselessConfig())
+	st := sim.State{
+		Pos: mathx.V3(0, 0, -25),
+		Att: mathx.QuatFromEuler(0, 0, 1.2),
+	}
+	r := s.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	if r.BaroAlt != 25 {
+		t.Errorf("baro = %v, want 25", r.BaroAlt)
+	}
+	if !mathx.ApproxEqual(r.MagYaw, 1.2, 1e-12) {
+		t.Errorf("mag yaw = %v, want 1.2", r.MagYaw)
+	}
+}
+
+func TestGPSRateAndLatency(t *testing.T) {
+	cfg := noiselessConfig()
+	cfg.GPSLatency = 0.1
+	s := NewSuite(cfg)
+	st := sim.State{Pos: mathx.V3(7, 8, -9), Att: mathx.QuatIdentity()}
+
+	// t=0: first fix generated, but latency delays delivery.
+	r := s.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	if r.GPSFresh || r.GPS.Valid {
+		t.Error("GPS delivered before latency elapsed")
+	}
+	// t=0.1: fix due now.
+	r = s.Sample(0.1, st, mathx.Vec3{}, sim.Battery{})
+	if !r.GPSFresh {
+		t.Fatal("GPS not delivered after latency")
+	}
+	if r.GPS.Pos != st.Pos {
+		t.Errorf("GPS pos = %v, want %v", r.GPS.Pos, st.Pos)
+	}
+	if !r.GPS.Valid || r.GPS.NumSats < 10 {
+		t.Errorf("GPS fix invalid: %+v", r.GPS)
+	}
+	// Immediately after, the fix is held but not fresh (5 Hz rate).
+	r = s.Sample(0.11, st, mathx.Vec3{}, sim.Battery{})
+	if r.GPSFresh {
+		t.Error("GPS fresh again before next fix interval")
+	}
+	if r.GPS.Pos != st.Pos {
+		t.Error("held GPS fix lost")
+	}
+}
+
+func TestGPSFixInterval(t *testing.T) {
+	cfg := noiselessConfig()
+	cfg.GPSRateHz = 5
+	cfg.GPSLatency = 0
+	s := NewSuite(cfg)
+	st := restingState()
+	fresh := 0
+	const dt = 1.0 / 400
+	for i := 0; i <= 400; i++ { // one second inclusive
+		r := s.Sample(float64(i)*dt, st, mathx.Vec3{}, sim.Battery{})
+		if r.GPSFresh {
+			fresh++
+		}
+	}
+	if fresh < 5 || fresh > 6 {
+		t.Errorf("fresh fixes in 1 s = %d, want ~5", fresh)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GyroBias = 0 // isolate white noise from bias
+	s := NewSuite(cfg)
+	st := restingState()
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		r := s.Sample(float64(i)/400, st, mathx.Vec3{}, sim.Battery{})
+		sum += r.IMU.Gyro.X
+		sumSq += r.IMU.Gyro.X * r.IMU.Gyro.X
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 5e-4 {
+		t.Errorf("gyro noise mean = %v, want ~0", mean)
+	}
+	if sd < cfg.GyroNoise*0.9 || sd > cfg.GyroNoise*1.1 {
+		t.Errorf("gyro noise sd = %v, want ~%v", sd, cfg.GyroNoise)
+	}
+}
+
+func TestBiasIsConstantAndSeeded(t *testing.T) {
+	cfg := noiselessConfig()
+	cfg.GyroBias = 0.01
+	a := NewSuite(cfg)
+	b := NewSuite(cfg)
+	st := restingState()
+	ra1 := a.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	ra2 := a.Sample(0.01, st, mathx.Vec3{}, sim.Battery{})
+	rb := b.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	if ra1.IMU.Gyro != ra2.IMU.Gyro {
+		t.Error("gyro bias changed between samples")
+	}
+	if ra1.IMU.Gyro != rb.IMU.Gyro {
+		t.Error("identical seeds produced different biases")
+	}
+	if ra1.IMU.Gyro.Norm() == 0 {
+		t.Error("bias config produced zero bias")
+	}
+	// The two IMUs must have independent biases.
+	if ra1.IMU.Gyro == ra1.IMU2.Gyro {
+		t.Error("IMU and IMU2 share a bias")
+	}
+}
+
+func TestBatteryPassthrough(t *testing.T) {
+	s := NewSuite(noiselessConfig())
+	batt := sim.Battery{Voltage: 11.7, CurrentA: 14.2}
+	r := s.Sample(0, restingState(), mathx.Vec3{}, batt)
+	if r.BatteryV != 11.7 || r.CurrentA != 14.2 {
+		t.Errorf("battery readings = %v / %v", r.BatteryV, r.CurrentA)
+	}
+}
+
+func TestZeroRateDefaulted(t *testing.T) {
+	s := NewSuite(Config{})
+	if s.cfg.GPSRateHz != 5 {
+		t.Errorf("zero GPS rate defaulted to %v, want 5", s.cfg.GPSRateHz)
+	}
+}
+
+func TestGPSDenial(t *testing.T) {
+	cfg := noiselessConfig()
+	cfg.GPSLatency = 0
+	s := NewSuite(cfg)
+	st := restingState()
+	// Establish a fix.
+	r := s.Sample(0, st, mathx.Vec3{}, sim.Battery{})
+	if !r.GPSFresh {
+		t.Fatal("no initial fix")
+	}
+	// Deny: no fresh fixes for two seconds, held fix persists.
+	s.SetGPSDenied(true)
+	moved := st
+	moved.Pos = mathx.V3(10, 0, -5)
+	for i := 1; i <= 800; i++ {
+		r = s.Sample(float64(i)/400, moved, mathx.Vec3{}, sim.Battery{})
+		if r.GPSFresh {
+			t.Fatalf("fresh fix at %d while denied", i)
+		}
+	}
+	if r.GPS.Pos != st.Pos {
+		t.Errorf("held fix changed during denial: %v", r.GPS.Pos)
+	}
+	// Restore: fixes resume and reflect the new position.
+	s.SetGPSDenied(false)
+	got := false
+	for i := 801; i <= 1200; i++ {
+		r = s.Sample(float64(i)/400, moved, mathx.Vec3{}, sim.Battery{})
+		if r.GPSFresh {
+			got = true
+			break
+		}
+	}
+	if !got {
+		t.Fatal("no fix after denial lifted")
+	}
+	if r.GPS.Pos != moved.Pos {
+		t.Errorf("post-denial fix = %v, want %v", r.GPS.Pos, moved.Pos)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// StepwiseResult reports the model chosen by stepwise AIC selection.
+type StepwiseResult struct {
+	// Model is the final fitted regression (nil when nothing beat the
+	// intercept-only model).
+	Model *OLSResult
+	// Selected lists the chosen predictor names in selection order.
+	Selected []string
+	// Steps counts how many add/remove moves the search made.
+	Steps int
+	// ModelsFitted counts all candidate regressions evaluated (the cost
+	// metric for the clustering ablation).
+	ModelsFitted int
+}
+
+// StepwiseAIC performs bidirectional stepwise model selection: starting
+// from the intercept-only model, it repeatedly applies the single add-or-
+// remove move that lowers AIC most, stopping at a local optimum. This is
+// Algorithm 1's STEPWISEAIC.
+func StepwiseAIC(y []float64, predictors map[string][]float64) *StepwiseResult {
+	res := &StepwiseResult{}
+	// Candidates are walked in sorted order so AIC ties resolve
+	// deterministically (map iteration order would make the selected
+	// model run-dependent).
+	candidates := sortedPredictorNames(predictors)
+
+	// Intercept-only AIC baseline.
+	currentAIC := interceptOnlyAIC(y)
+	var selected []string
+
+	fit := func(names []string) *OLSResult {
+		cols := make([][]float64, len(names))
+		for i, n := range names {
+			cols[i] = predictors[n]
+		}
+		res.ModelsFitted++
+		m, err := OLS(y, cols, names)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+
+	var currentModel *OLSResult
+	for {
+		bestAIC := currentAIC
+		bestNames := selected
+		var bestModel *OLSResult
+
+		// Try adding each remaining predictor.
+		for _, name := range candidates {
+			if contains(selected, name) {
+				continue
+			}
+			cand := append(append([]string{}, selected...), name)
+			if m := fit(cand); m != nil && m.AIC < bestAIC-1e-9 {
+				bestAIC = m.AIC
+				bestNames = cand
+				bestModel = m
+			}
+		}
+		// Try removing each selected predictor.
+		for i := range selected {
+			cand := make([]string, 0, len(selected)-1)
+			cand = append(cand, selected[:i]...)
+			cand = append(cand, selected[i+1:]...)
+			if len(cand) == 0 {
+				if a := interceptOnlyAIC(y); a < bestAIC-1e-9 {
+					bestAIC = a
+					bestNames = nil
+					bestModel = nil
+				}
+				continue
+			}
+			if m := fit(cand); m != nil && m.AIC < bestAIC-1e-9 {
+				bestAIC = m.AIC
+				bestNames = cand
+				bestModel = m
+			}
+		}
+
+		if bestAIC >= currentAIC-1e-9 {
+			break // local optimum
+		}
+		currentAIC = bestAIC
+		selected = bestNames
+		currentModel = bestModel
+		res.Steps++
+	}
+	res.Model = currentModel
+	res.Selected = selected
+	return res
+}
+
+// ExhaustiveAIC fits every non-empty subset of predictors and returns the
+// AIC-optimal model. Exponential in predictor count; it exists as the
+// baseline for the stepwise-selection ablation bench.
+func ExhaustiveAIC(y []float64, predictors map[string][]float64) *StepwiseResult {
+	res := &StepwiseResult{}
+	names := sortedPredictorNames(predictors)
+	bestAIC := interceptOnlyAIC(y)
+	var bestModel *OLSResult
+	var bestNames []string
+	total := 1 << len(names)
+	for mask := 1; mask < total; mask++ {
+		var cand []string
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				cand = append(cand, n)
+			}
+		}
+		cols := make([][]float64, len(cand))
+		for i, n := range cand {
+			cols[i] = predictors[n]
+		}
+		res.ModelsFitted++
+		m, err := OLS(y, cols, cand)
+		if err != nil {
+			continue
+		}
+		if m.AIC < bestAIC {
+			bestAIC = m.AIC
+			bestModel = m
+			bestNames = cand
+		}
+	}
+	res.Model = bestModel
+	res.Selected = bestNames
+	return res
+}
+
+// interceptOnlyAIC computes the AIC of the mean-only model.
+func interceptOnlyAIC(y []float64) float64 {
+	n := float64(len(y))
+	if n < 2 {
+		return math.Inf(1)
+	}
+	m := Mean(y)
+	rss := 0.0
+	for _, v := range y {
+		d := v - m
+		rss += d * d
+	}
+	if rss <= 0 {
+		return math.Inf(-1)
+	}
+	logLik := -n/2*(math.Log(2*math.Pi)+math.Log(rss/n)) - n/2
+	return 2*2 - 2*logLik // intercept + variance
+}
+
+func sortedPredictorNames(predictors map[string][]float64) []string {
+	names := make([]string, 0, len(predictors))
+	for k := range predictors {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

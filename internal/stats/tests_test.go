@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gaussian(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestJarqueBeraAcceptsGaussian(t *testing.T) {
+	_, p := JarqueBera(gaussian(5000, 11))
+	if p < 0.01 {
+		t.Errorf("JB rejected Gaussian data: p = %v", p)
+	}
+}
+
+func TestJarqueBeraRejectsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()) // log-normal, heavily skewed
+	}
+	_, p := JarqueBera(xs)
+	if p > 1e-6 {
+		t.Errorf("JB accepted log-normal data: p = %v", p)
+	}
+}
+
+func TestJarqueBeraSmallSample(t *testing.T) {
+	if s, p := JarqueBera([]float64{1, 2, 3}); !math.IsNaN(s) || !math.IsNaN(p) {
+		t.Error("small sample did not return NaN")
+	}
+}
+
+func TestRunsTestAcceptsIID(t *testing.T) {
+	_, p := RunsTest(gaussian(5000, 13))
+	if p < 0.01 {
+		t.Errorf("runs test rejected iid data: p = %v", p)
+	}
+}
+
+func TestRunsTestRejectsTrend(t *testing.T) {
+	// A monotone ramp has exactly 2 runs about its median.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	z, p := RunsTest(xs)
+	if p > 1e-10 {
+		t.Errorf("runs test accepted a ramp: z=%v p=%v", z, p)
+	}
+}
+
+func TestRunsTestRejectsAlternating(t *testing.T) {
+	// Perfect alternation has the maximum number of runs — also not iid.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	_, p := RunsTest(xs)
+	if p > 1e-10 {
+		t.Errorf("runs test accepted alternation: p = %v", p)
+	}
+}
+
+func TestRunsTestDegenerate(t *testing.T) {
+	if _, p := RunsTest([]float64{1, 2}); !math.IsNaN(p) {
+		t.Error("tiny sample did not return NaN")
+	}
+	// All-equal series: every value ties the median.
+	xs := make([]float64, 100)
+	if _, p := RunsTest(xs); !math.IsNaN(p) {
+		t.Error("constant series did not return NaN")
+	}
+}
+
+func TestPruneStateVars(t *testing.T) {
+	n := 2000
+	rng := rand.New(rand.NewSource(14))
+	gauss := make([]float64, n) // integrated noise: increments iid normal
+	constant := make([]float64, n)
+	ramp := make([]float64, n)    // constant increments
+	skewInc := make([]float64, n) // wildly non-normal increments
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += rng.NormFloat64()
+		gauss[i] = acc
+		constant[i] = 3.14
+		ramp[i] = float64(i) * 0.5
+		if i > 0 {
+			skewInc[i] = skewInc[i-1] + math.Exp(rng.NormFloat64()*3)
+		}
+	}
+	names := []string{"v.gauss", "v.const", "v.ramp", "v.skew"}
+	res := PruneStateVars(names, [][]float64{gauss, constant, ramp, skewInc},
+		DefaultPruneOptions())
+	want := map[string]bool{
+		"v.gauss": true,
+		"v.const": false,
+		"v.ramp":  false, // constant increments
+		"v.skew":  false, // non-normal increments
+	}
+	for _, r := range res {
+		if r.Kept != want[r.Name] {
+			t.Errorf("%s kept=%v (%s), want %v", r.Name, r.Kept, r.Reason, want[r.Name])
+		}
+		if !r.Kept && r.Reason == "" {
+			t.Errorf("%s pruned without a reason", r.Name)
+		}
+	}
+}
+
+func TestPruneStateVarsTooFew(t *testing.T) {
+	res := PruneStateVars([]string{"x"}, [][]float64{{1, 2, 3}}, DefaultPruneOptions())
+	if res[0].Kept || res[0].Reason != "too few samples" {
+		t.Errorf("short series: %+v", res[0])
+	}
+}
+
+func TestMedian(t *testing.T) {
+	approx(t, "odd", median([]float64{3, 1, 2}), 2, 1e-12)
+	approx(t, "even", median([]float64{4, 1, 3, 2}), 2.5, 1e-12)
+}

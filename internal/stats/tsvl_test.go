@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ar1 generates a mean-reverting AR(1) series x_i = φ·x_{i−1} + ε. Its
+// increments are near-iid normal, like real state-variable updates, so the
+// pruning stage keeps it.
+func ar1(n int, phi float64, rng *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	return xs
+}
+
+// synthesizeESVL builds a synthetic ESVL with known structure:
+//
+//	resp    = 2·sig1 − sig2 + noise   (the "roll angle")
+//	sig1    = AR(1) driver
+//	sig2    = independent AR(1) driver
+//	corr1   = 0.9·sig1 + AR(1) noise  (redundant with sig1)
+//	junk    = independent AR(1)        (no relation to resp)
+//	const1  = constant                 (pruned)
+//	faraway = independent AR(1)        (ends up in its own cluster)
+func synthesizeESVL(n int, seed int64) ([]string, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"resp", "sig1", "sig2", "corr1", "junk", "const1", "faraway"}
+	const phi = 0.95
+	sig1 := ar1(n, phi, rng)
+	sig2 := ar1(n, phi, rng)
+	noiseA := ar1(n, phi, rng)
+	noiseB := ar1(n, phi, rng)
+	junk := ar1(n, phi, rng)
+	faraway := ar1(n, phi, rng)
+	s := map[string][]float64{
+		"sig1": sig1, "sig2": sig2, "junk": junk, "faraway": faraway,
+		"resp": make([]float64, n), "corr1": make([]float64, n),
+		"const1": make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s["corr1"][i] = 0.9*sig1[i] + 0.3*noiseA[i]
+		s["const1"][i] = 42
+		s["resp"][i] = 2*sig1[i] - sig2[i] + 0.2*noiseB[i]
+	}
+	series := make([][]float64, len(names))
+	for i, nm := range names {
+		series[i] = s[nm]
+	}
+	return names, series
+}
+
+func TestGenerateTSVLFindsDrivers(t *testing.T) {
+	names, series := synthesizeESVL(3000, 41)
+	rep, err := GenerateTSVL(TSVLInput{
+		Names:      names,
+		Series:     series,
+		Responses:  []string{"resp"},
+		ClusterCut: 0.95, // keep weakly-correlated vars with the response cluster
+		Alpha:      0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constants are pruned.
+	for _, k := range rep.Kept {
+		if k == "const1" {
+			t.Error("constant variable survived pruning")
+		}
+	}
+	// The true drivers must be in the TSVL.
+	got := map[string]bool{}
+	for _, v := range rep.TSVL {
+		got[v] = true
+	}
+	if !got["sig1"] || !got["sig2"] {
+		t.Errorf("TSVL = %v, want sig1 and sig2", rep.TSVL)
+	}
+	// The response itself never appears in its own TSVL.
+	if got["resp"] {
+		t.Error("response variable in TSVL")
+	}
+	if rep.ModelsFitted == 0 {
+		t.Error("no models fitted")
+	}
+	// The selection ratio is meaningful: TSVL well below the ESVL size.
+	if len(rep.TSVL) >= len(names)-1 {
+		t.Errorf("TSVL %v did not select (ESVL %v)", rep.TSVL, names)
+	}
+}
+
+func TestGenerateTSVLClusteringSeparates(t *testing.T) {
+	names, series := synthesizeESVL(3000, 42)
+	rep, err := GenerateTSVL(TSVLInput{
+		Names:      names,
+		Series:     series,
+		Responses:  []string{"resp"},
+		ClusterCut: 0.5, // tight: only strongly-correlated variables share a subset
+		Alpha:      0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// resp, sig1 and corr1 are mutually |r| ≥ ~0.8 and must share a
+	// cluster; junk/faraway must not be in it.
+	var respCluster []string
+	for _, c := range rep.Clusters {
+		for _, v := range c {
+			if v == "resp" {
+				respCluster = c
+			}
+		}
+	}
+	if respCluster == nil {
+		t.Fatal("response not clustered")
+	}
+	in := map[string]bool{}
+	for _, v := range respCluster {
+		in[v] = true
+	}
+	if !in["sig1"] {
+		t.Errorf("resp cluster %v missing sig1", respCluster)
+	}
+	if in["junk"] || in["faraway"] {
+		t.Errorf("resp cluster %v contains unrelated variables", respCluster)
+	}
+}
+
+func TestGenerateTSVLSkipClusteringAblation(t *testing.T) {
+	names, series := synthesizeESVL(2000, 43)
+	clustered, err := GenerateTSVL(TSVLInput{
+		Names: names, Series: series, Responses: []string{"resp"},
+		ClusterCut: 0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := GenerateTSVL(TSVLInput{
+		Names: names, Series: series, Responses: []string{"resp"},
+		SkipClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Clusters) != 1 {
+		t.Errorf("flat run has %d clusters", len(flat.Clusters))
+	}
+	// Both find the true drivers.
+	for _, rep := range []*TSVLReport{clustered, flat} {
+		got := map[string]bool{}
+		for _, v := range rep.TSVL {
+			got[v] = true
+		}
+		if !got["sig1"] || !got["sig2"] {
+			t.Errorf("TSVL = %v", rep.TSVL)
+		}
+	}
+}
+
+func TestGenerateTSVLInputValidation(t *testing.T) {
+	if _, err := GenerateTSVL(TSVLInput{Names: []string{"a"}}); err == nil {
+		t.Error("mismatched input accepted")
+	}
+	if _, err := GenerateTSVL(TSVLInput{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	// All-constant input: everything pruned except the (absent) response.
+	series := [][]float64{make([]float64, 100), make([]float64, 100)}
+	if _, err := GenerateTSVL(TSVLInput{
+		Names:  []string{"a", "b"},
+		Series: series,
+	}); err == nil {
+		t.Error("degenerate input accepted")
+	}
+}
+
+func TestGenerateTSVLResponseExemptFromPruning(t *testing.T) {
+	// A response that would itself fail the assumption checks (a smooth
+	// ramp plus its driver) must survive because responses are exempt:
+	// they are what we explain, not what we select.
+	rng := rand.New(rand.NewSource(44))
+	n := 2000
+	driver := ar1(n, 0.95, rng)
+	resp := make([]float64, n)
+	for i := range resp {
+		resp[i] = float64(i)*0.01 + driver[i] // trending: fails iid checks
+	}
+	rep, err := GenerateTSVL(TSVLInput{
+		Names:      []string{"resp", "driver"},
+		Series:     [][]float64{resp, driver},
+		Responses:  []string{"resp"},
+		ClusterCut: 0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range rep.Kept {
+		if k == "resp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("response pruned despite exemption")
+	}
+	// And its driver is identified.
+	if len(rep.TSVL) != 1 || rep.TSVL[0] != "driver" {
+		t.Errorf("TSVL = %v, want [driver]", rep.TSVL)
+	}
+}
