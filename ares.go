@@ -30,6 +30,16 @@ import (
 
 	"github.com/ares-cps/ares/internal/core"
 	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// Seed streams for the independent random consumers of a pipeline run.
+// mathx.DeriveSeed mixes the stream id into the base seed, so consumers
+// stay decorrelated for every base seed — including adjacent ones, which
+// the previous `Seed + 1000` offset scheme made collide across runs.
+const (
+	seedStreamExploitEnv int64 = iota + 1
+	seedStreamExploitPolicy
 )
 
 // Config configures a Pipeline.
@@ -147,10 +157,10 @@ func (p *Pipeline) TrainDeviationExploit(variable string, episodes int) (*core.E
 	res, _, err := core.TrainDeviationExploit(core.ExploitConfig{
 		Env: core.EnvConfig{
 			Variable: variable,
-			Seed:     p.cfg.Seed + 1000,
+			Seed:     mathx.DeriveSeed(p.cfg.Seed, seedStreamExploitEnv),
 		},
 		Episodes: episodes,
-		Seed:     p.cfg.Seed,
+		Seed:     mathx.DeriveSeed(p.cfg.Seed, seedStreamExploitPolicy),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ares: exploit: %w", err)

@@ -1,0 +1,133 @@
+// Command arescamp runs a sharded, parallel, resumable ARES
+// vulnerability-assessment campaign: the cross product of missions ×
+// target variables × attack goals × defenses × trial seeds, executed on a
+// bounded worker pool with one JSON-lines artifact record per job.
+//
+// Usage:
+//
+//	arescamp [-missions L] [-vars L] [-goals L] [-defenses L] [-trials N]
+//	         [-seed S] [-episodes N] [-steps N] [-workers N]
+//	         [-out FILE] [-csv DIR] [-q]
+//
+// Re-running with the same -out file resumes the campaign: jobs whose keys
+// already have an ok record are skipped, so an interrupted fleet picks up
+// where it stopped. `arescamp -out run.jsonl -summary` aggregates an
+// existing artifact file without running anything.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/ares-cps/ares/internal/campaign"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "arescamp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("arescamp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	missions := fs.String("missions", "line:60", "comma-separated missions (kind:size[:alt])")
+	variables := fs.String("vars", "PIDR.INTEG,CMD.Roll", "comma-separated target state variables")
+	goals := fs.String("goals", campaign.GoalDeviation, "comma-separated goals (deviation,crash)")
+	defenses := fs.String("defenses", campaign.DefenseNone, "comma-separated defenses (none,ci)")
+	trials := fs.Int("trials", 8, "trial seeds per axis cell")
+	seed := fs.Int64("seed", 42, "campaign base seed")
+	episodes := fs.Int("episodes", 12, "RL training episodes per job")
+	steps := fs.Int("steps", 60, "max steps per episode")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	out := fs.String("out", "campaign.jsonl", "artifact file (JSON lines); reused for resume")
+	csvDir := fs.String("csv", "", "also export the summary as CSV into this directory")
+	summaryOnly := fs.Bool("summary", false, "only aggregate the existing -out file; run nothing")
+	quiet := fs.Bool("q", false, "suppress per-job progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if !*summaryOnly {
+		spec := campaign.Spec{
+			Name:     "arescamp",
+			Seed:     *seed,
+			Trials:   *trials,
+			Episodes: *episodes,
+			MaxSteps: *steps,
+		}
+		for _, m := range splitList(*missions) {
+			ms, err := campaign.ParseMission(m)
+			if err != nil {
+				return err
+			}
+			spec.Missions = append(spec.Missions, ms)
+		}
+		spec.Variables = splitList(*variables)
+		spec.Goals = splitList(*goals)
+		spec.Defenses = splitList(*defenses)
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+
+		store, err := campaign.OpenStore(*out)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+
+		// SIGINT/SIGTERM stop new jobs; in-flight jobs finish and are
+		// recorded, so the next run with the same -out resumes cleanly.
+		ctx, cancel := signal.NotifyContext(context.Background(),
+			os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+
+		logw := io.Writer(stderr)
+		if *quiet {
+			logw = io.Discard
+		}
+		r := &campaign.Runner{Workers: *workers, Log: logw}
+		stats, err := r.Run(ctx, spec, store)
+		if err != nil && err != context.Canceled {
+			return err
+		}
+		fmt.Fprintf(stderr,
+			"campaign: %d jobs (%d resumed), %d ok, %d errors, %d panics in %.1fs\n",
+			stats.Total, stats.Skipped, stats.OK, stats.Errors, stats.Panics,
+			stats.Elapsed.Seconds())
+		if err == context.Canceled {
+			fmt.Fprintf(stderr, "campaign: interrupted — re-run with -out %s to resume\n", *out)
+			return nil
+		}
+	}
+
+	recs, err := campaign.ReadRecords(*out)
+	if err != nil {
+		return err
+	}
+	sum := campaign.Aggregate("arescamp", recs)
+	if err := sum.WriteText(stdout); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		return sum.WriteCSV(*csvDir)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/campaign"
+)
+
+func TestRunMiniCampaignAndResume(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	args := []string{
+		"-missions", "line:40", "-vars", "PIDR.INTEG",
+		"-trials", "2", "-episodes", "2", "-steps", "6",
+		"-workers", "2", "-out", out,
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Campaign arescamp — 2 jobs") {
+		t.Errorf("summary missing:\n%s", stdout.String())
+	}
+	recs, err := campaign.ReadRecords(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("artifact records = %d, want 2", len(recs))
+	}
+
+	// Second run against the same -out file must resume, not re-execute.
+	stderr.Reset()
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "(2 resumed), 0 ok") {
+		t.Errorf("resume not reported:\n%s", stderr.String())
+	}
+	recs, err = campaign.ReadRecords(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("resume appended records: %d, want 2", len(recs))
+	}
+}
+
+func TestSummaryOnly(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	st, err := campaign.OpenStore(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(campaign.Record{
+		Key: "k", Mission: "m", Variable: "v", Goal: "deviation", Defense: "none",
+		Status: campaign.StatusOK, Metrics: &campaign.Metrics{Deviation: 3, Success: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-out", out, "-summary"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "1 jobs") {
+		t.Errorf("summary:\n%s", stdout.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sink bytes.Buffer
+	if err := run([]string{"-missions", "loop:9"}, &sink, &sink); err == nil {
+		t.Error("bad mission accepted")
+	}
+	if err := run([]string{"-goals", "teleport", "-out",
+		filepath.Join(t.TempDir(), "x.jsonl")}, &sink, &sink); err == nil {
+		t.Error("bad goal accepted")
+	}
+	if err := run([]string{"-summary", "-out", filepath.Join(t.TempDir(), "missing.jsonl")},
+		&sink, &sink); !os.IsNotExist(err) {
+		t.Errorf("missing artifact file: %v", err)
+	}
+}

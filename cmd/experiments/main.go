@@ -2,50 +2,58 @@
 //
 // Usage:
 //
-//	experiments [-exp id] [-seed S] [-quick] [-csv DIR]
+//	experiments [-exp id] [-seed S] [-quick] [-csv DIR] [-parallel N]
 //
 // With no -exp it runs every experiment in the paper's order. Experiment ids:
 // table1, table2, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, ablation.
+// With -parallel N the experiments run on an N-worker pool (the campaign
+// subsystem's pool); each result is buffered and printed in the paper's
+// order, so the output is identical to a sequential run.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"github.com/ares-cps/ares/internal/campaign"
 	"github.com/ares-cps/ares/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	exp := fs.String("exp", "", "run only this experiment id (default: all)")
 	seed := fs.Int64("seed", 42, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts and training budgets")
 	csvDir := fs.String("csv", "", "also export CSV data into this directory")
+	parallel := fs.Int("parallel", 0, "run experiments on this many workers (0 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	suite := experiments.NewSuite(*seed, *quick)
-	runOne := func(id string, runner experiments.Runner) error {
+	runOne := func(id string, runner experiments.Runner, w io.Writer) error {
 		start := time.Now()
 		res, err := runner(suite)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n", id, time.Since(start).Seconds())
-		if err := res.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(w, "=== %s (%.1fs) ===\n", id, time.Since(start).Seconds())
+		if err := res.WriteText(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if *csvDir != "" {
 			if err := res.WriteCSV(*csvDir); err != nil {
 				return fmt.Errorf("%s csv: %w", id, err)
@@ -59,10 +67,26 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runOne(*exp, runner)
+		return runOne(*exp, runner, stdout)
 	}
-	for _, e := range experiments.Registry() {
-		if err := runOne(e.ID, e.Run); err != nil {
+	registry := experiments.Registry()
+	if *parallel > 1 {
+		// Suite getters are mutex-guarded, so concurrent experiments
+		// share the expensive profile/monitor setup safely; per-entry
+		// buffers keep the interleaved output readable and ordered.
+		bufs := make([]bytes.Buffer, len(registry))
+		err := campaign.ForEach(context.Background(), *parallel, len(registry), func(i int) error {
+			return runOne(registry[i].ID, registry[i].Run, &bufs[i])
+		})
+		for i := range bufs {
+			if _, werr := stdout.Write(bufs[i].Bytes()); werr != nil {
+				return werr
+			}
+		}
+		return err
+	}
+	for _, e := range registry {
+		if err := runOne(e.ID, e.Run, stdout); err != nil {
 			return err
 		}
 	}

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestExperimentsSingleQuick(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-exp", "table1", "-quick", "-csv", dir}); err != nil {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-quick", "-csv", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
@@ -17,7 +20,27 @@ func TestExperimentsSingleQuick(t *testing.T) {
 }
 
 func TestExperimentsUnknownID(t *testing.T) {
-	if err := run([]string{"-exp", "nope"}); err == nil {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestExperimentsParallelOrdering runs a pair of cheap experiments on the
+// pool and checks the buffered output still appears in registry order.
+func TestExperimentsParallelOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run skipped in -short")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-parallel", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	i1 := strings.Index(text, "=== table1")
+	i2 := strings.Index(text, "=== table2")
+	i3 := strings.Index(text, "=== fig3")
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Fatalf("parallel output out of order: table1@%d table2@%d fig3@%d", i1, i2, i3)
 	}
 }

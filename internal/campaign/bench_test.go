@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// benchSpec is the 16-job mini-campaign the sequential-vs-pooled speedup
+// is tracked on: 2 variables × 8 trials of tiny real exploit trainings.
+func benchSpec() Spec {
+	return Spec{
+		Name:      "bench",
+		Seed:      11,
+		Missions:  []MissionSpec{{Kind: "line", Size: 40, Alt: 10}},
+		Variables: []string{"PIDR.INTEG", "CMD.Roll"},
+		Goals:     []string{GoalDeviation},
+		Defenses:  []string{DefenseNone},
+		Trials:    8,
+		Episodes:  2,
+		MaxSteps:  6,
+	}
+}
+
+func benchRun(b *testing.B, workers int) {
+	b.Helper()
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := OpenStore(filepath.Join(b.TempDir(), "artifacts.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := &Runner{Workers: workers}
+		stats, err := r.Run(context.Background(), spec, st)
+		st.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.OK != stats.Total {
+			b.Fatalf("stats %+v", stats)
+		}
+	}
+}
+
+func BenchmarkCampaign16Sequential(b *testing.B) { benchRun(b, 1) }
+
+func BenchmarkCampaign16Pooled(b *testing.B) { benchRun(b, runtime.NumCPU()) }

@@ -1,0 +1,31 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+)
+
+// writeCSV writes one CSV file with a header row into dir, creating the
+// directory if needed (the same contract as the experiments exporters).
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/ares-cps/ares/internal/attack"
+	"github.com/ares-cps/ares/internal/core"
+	"github.com/ares-cps/ares/internal/defense"
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/sim"
+)
+
+// Per-job seed streams. Each independent random consumer inside a job
+// draws from its own stream of the job seed, mirroring ares.go.
+const (
+	streamJobEnv int64 = iota + 1
+	streamJobPolicy
+)
+
+// monitorEntry lazily calibrates one mission's CI monitor exactly once.
+type monitorEntry struct {
+	once sync.Once
+	ci   *defense.ControlInvariants
+	err  error
+}
+
+// aresExecutor is the production Executor: it trains and evaluates one RL
+// exploit per job on the built-in firmware simulator. Monitors are
+// calibrated once per mission (seeded from the campaign seed, so the
+// calibration is identical at any worker count) and cloned per job,
+// because a fitted monitor's Observe mutates its runtime state.
+type aresExecutor struct {
+	mu       sync.Mutex
+	monitors map[string]*monitorEntry
+}
+
+// NewExecutor returns the built-in ARES job executor.
+func NewExecutor() Executor {
+	e := &aresExecutor{monitors: make(map[string]*monitorEntry)}
+	return e.run
+}
+
+func (e *aresExecutor) monitor(job Job) (*defense.ControlInvariants, error) {
+	name := job.Mission.Name()
+	e.mu.Lock()
+	ent, ok := e.monitors[name]
+	if !ok {
+		ent = &monitorEntry{}
+		e.monitors[name] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		mission, err := job.Mission.Build()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		seed := mathx.DeriveSeed(job.BaseSeed, StreamOf("calibrate/"+name))
+		ent.ci, _, ent.err = attack.CalibrateMonitors(mission, seed)
+	})
+	if ent.err != nil {
+		return nil, fmt.Errorf("campaign: calibrate %s: %w", name, ent.err)
+	}
+	return ent.ci.Clone(), nil
+}
+
+func (e *aresExecutor) run(ctx context.Context, job Job) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	mission, err := job.Mission.Build()
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	envCfg := core.EnvConfig{
+		Variable:  job.Variable,
+		Mission:   mission,
+		MaxAction: job.MaxAction,
+		Seed:      mathx.DeriveSeed(job.Seed, streamJobEnv),
+		// CMD.* cells are rewritten by the navigator every cycle, so the
+		// injection must act as a standing per-tick offset; stateful cells
+		// (integrators) hold a one-shot injection.
+		PerTick: strings.HasPrefix(job.Variable, "CMD."),
+	}
+	if job.Defense == DefenseCI {
+		det, err := e.monitor(job)
+		if err != nil {
+			return Metrics{}, err
+		}
+		envCfg.Detector = det
+	}
+	cfg := core.ExploitConfig{
+		Env:      envCfg,
+		Episodes: job.Episodes,
+		MaxSteps: job.MaxSteps,
+		Seed:     mathx.DeriveSeed(job.Seed, streamJobPolicy),
+		Learner:  job.Learner,
+	}
+
+	switch job.Goal {
+	case GoalDeviation:
+		res, _, err := core.TrainDeviationExploit(cfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return metricsOf(job, res), nil
+	case GoalCrash:
+		if cfg.Env.MaxAction == 0 {
+			cfg.Env.MaxAction = 0.6
+		}
+		env, err := core.NewCrashEnv(cfg.Env, crashZone(job.Mission))
+		if err != nil {
+			return Metrics{}, err
+		}
+		res, _, err := core.TrainCrashExploit(cfg, env)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return metricsOf(job, res), nil
+	default:
+		return Metrics{}, fmt.Errorf("campaign: unknown goal %q", job.Goal)
+	}
+}
+
+// metricsOf folds an exploit result into the campaign metrics, applying
+// the success criterion: a *stealthy* failure — the goal condition met
+// without tripping the in-loop detector.
+func metricsOf(job Job, res *core.ExploitResult) Metrics {
+	m := Metrics{
+		Deviation:   res.EvalDeviation,
+		Return:      res.EvalReturn,
+		Detected:    res.EvalDetected,
+		Crashed:     res.EvalCrashed,
+		GoalReached: res.EvalGoalReached,
+	}
+	if res.Train != nil {
+		m.BestReturn = res.Train.BestReturn
+	}
+	switch job.Goal {
+	case GoalCrash:
+		m.Success = res.EvalGoalReached && !res.EvalDetected
+	default:
+		m.Success = (res.EvalDeviation >= job.SuccessDeviation || res.EvalCrashed) &&
+			!res.EvalDetected
+	}
+	return m
+}
+
+// crashZone places the Case Study II forbidden zone 10 m beside the final
+// mission leg, spanning ground to twice the mission altitude — reachable
+// by a lateral push without being on the benign path.
+func crashZone(m MissionSpec) sim.Obstacle {
+	end := m.Size
+	return sim.Obstacle{
+		Name: "forbidden-zone",
+		Box: mathx.AABB{
+			Min: mathx.Vec3{X: end - 5, Y: 8, Z: -2 * m.Alt},
+			Max: mathx.Vec3{X: end + 5, Y: 12, Z: 0},
+		},
+	}
+}

@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Executor runs one job and returns its metrics. Implementations must be
+// deterministic in job.Seed and safe for concurrent calls.
+type Executor func(ctx context.Context, job Job) (Metrics, error)
+
+// RunStats summarizes one Runner.Run invocation.
+type RunStats struct {
+	// Total is the expanded job count; Skipped were already in the store.
+	Total, Skipped int
+	// OK, Errors and Panics count the jobs executed this run.
+	OK, Errors, Panics int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Executed returns the number of jobs run (not skipped) this invocation.
+func (s RunStats) Executed() int { return s.OK + s.Errors + s.Panics }
+
+// Runner executes a campaign's jobs on a bounded worker pool.
+type Runner struct {
+	// Workers is the pool size; <=0 uses runtime.NumCPU().
+	Workers int
+	// Execute runs one job; nil uses the built-in ARES executor.
+	Execute Executor
+	// Log receives one progress line per finished job; nil discards.
+	Log io.Writer
+}
+
+// Run expands the spec, skips jobs already completed in the store, and
+// executes the remainder. A job panic is recovered and recorded as a
+// StatusPanic record — it never kills the fleet. Cancelling ctx stops new
+// jobs from starting; in-flight jobs finish and are recorded, so a
+// cancelled run resumes cleanly.
+func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, error) {
+	if err := spec.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	jobs := spec.Expand()
+	stats := RunStats{Total: len(jobs)}
+	pending := jobs[:0:0]
+	for _, j := range jobs {
+		if store.Completed(j.Key) {
+			stats.Skipped++
+			continue
+		}
+		pending = append(pending, j)
+	}
+
+	exec := r.Execute
+	if exec == nil {
+		exec = NewExecutor()
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	logw := r.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+
+	start := time.Now()
+	var mu sync.Mutex // guards stats and logw
+	err := ForEach(ctx, workers, len(pending), func(i int) error {
+		job := pending[i]
+		rec := runJob(ctx, exec, job)
+		if err := store.Append(rec); err != nil {
+			return err
+		}
+		mu.Lock()
+		switch rec.Status {
+		case StatusOK:
+			stats.OK++
+		case StatusPanic:
+			stats.Panics++
+		default:
+			stats.Errors++
+		}
+		line := fmt.Sprintf("[%d/%d] %s: %s", stats.Executed()+stats.Skipped,
+			stats.Total, job.Key, rec.Status)
+		if rec.Metrics != nil {
+			line += fmt.Sprintf(" dev=%.2fm success=%v detected=%v",
+				rec.Metrics.Deviation, rec.Metrics.Success, rec.Metrics.Detected)
+		}
+		fmt.Fprintln(logw, line)
+		mu.Unlock()
+		return nil
+	})
+	stats.Elapsed = time.Since(start)
+	return stats, err
+}
+
+// runJob executes one job with panic recovery and builds its record.
+func runJob(ctx context.Context, exec Executor, job Job) (rec Record) {
+	rec = Record{
+		Key:      job.Key,
+		Mission:  job.Mission.Name(),
+		Variable: job.Variable,
+		Goal:     job.Goal,
+		Defense:  job.Defense,
+		Trial:    job.Trial,
+		Seed:     job.Seed,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			rec.Status = StatusPanic
+			rec.Error = fmt.Sprint(p)
+			rec.Metrics = nil
+		}
+	}()
+	m, err := exec(ctx, job)
+	if err != nil {
+		rec.Status = StatusError
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.Status = StatusOK
+	rec.Metrics = &m
+	return rec
+}
+
+// ForEach runs fn(0) … fn(n-1) on up to `workers` goroutines and waits for
+// all of them. The first non-nil error (or ctx cancellation) stops further
+// indices from starting — already-running calls finish — and is returned.
+func ForEach(ctx context.Context, workers, n int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+
+	idx := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}

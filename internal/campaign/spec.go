@@ -1,0 +1,254 @@
+// Package campaign turns one-off ARES pipeline runs into sharded,
+// parallel, resumable vulnerability-assessment campaigns.
+//
+// A campaign is the paper's evaluation loop made explicit: the cross
+// product of missions × target state variables × attack goals × deployed
+// defenses × trial seeds, where every cell is an independent
+// profile→exploit job. The subsystem has four parts:
+//
+//   - Spec declares the sweep axes and expands them into an explicit,
+//     deterministically ordered and seeded job list.
+//   - Store is a JSON-lines artifact log; one record is appended per
+//     finished job, and a re-run against the same file resumes by
+//     skipping already-completed job keys.
+//   - Runner executes jobs on a bounded worker pool with per-job panic
+//     recovery, so one diverging trial cannot kill the fleet.
+//   - Aggregate folds the records into per-axis success-rate and
+//     deviation summaries shaped like internal/experiments results.
+//
+// Parallel runs are reproducible because every job's seed is derived from
+// the campaign seed and a hash of the job's key (mathx.DeriveSeed), never
+// from worker identity or completion order: the same Spec produces
+// byte-identical sorted records at any worker count.
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// Goal names for Spec.Goals.
+const (
+	// GoalDeviation is Case Study I: uncontrolled failure via peak path
+	// deviation.
+	GoalDeviation = "deviation"
+	// GoalCrash is Case Study II: controlled failure into a forbidden
+	// zone placed beside the mission's final leg.
+	GoalCrash = "crash"
+)
+
+// Defense names for Spec.Defenses.
+const (
+	// DefenseNone trains and evaluates without an in-loop detector.
+	DefenseNone = "none"
+	// DefenseCI runs the control-invariants monitor in the loop (trained
+	// once per mission, cloned per job).
+	DefenseCI = "ci"
+)
+
+// MissionSpec declares one mission axis value.
+type MissionSpec struct {
+	// Kind is "square" or "line".
+	Kind string
+	// Size is the side length (square) or leg length (line) in meters.
+	Size float64
+	// Alt is the altitude in meters.
+	Alt float64
+}
+
+// Name returns the stable identifier used in job keys, e.g. "line60x10".
+func (m MissionSpec) Name() string {
+	return fmt.Sprintf("%s%gx%g", m.Kind, m.Size, m.Alt)
+}
+
+// Build constructs the firmware mission.
+func (m MissionSpec) Build() (*firmware.Mission, error) {
+	switch m.Kind {
+	case "square":
+		return firmware.SquareMission(m.Size, m.Alt), nil
+	case "line":
+		return firmware.LineMission(m.Size, m.Alt), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown mission kind %q", m.Kind)
+	}
+}
+
+// ParseMission parses "kind:size" or "kind:size:alt" (e.g. "line:60",
+// "square:25:10"); altitude defaults to 10 m.
+func ParseMission(s string) (MissionSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return MissionSpec{}, fmt.Errorf("campaign: mission %q, want kind:size[:alt]", s)
+	}
+	m := MissionSpec{Kind: parts[0], Alt: 10}
+	var err error
+	if m.Size, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return MissionSpec{}, fmt.Errorf("campaign: mission %q size: %v", s, err)
+	}
+	if len(parts) == 3 {
+		if m.Alt, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return MissionSpec{}, fmt.Errorf("campaign: mission %q alt: %v", s, err)
+		}
+	}
+	if m.Kind != "square" && m.Kind != "line" {
+		return MissionSpec{}, fmt.Errorf("campaign: unknown mission kind %q", m.Kind)
+	}
+	if m.Size <= 0 || m.Alt <= 0 {
+		return MissionSpec{}, fmt.Errorf("campaign: mission %q needs positive size and alt", s)
+	}
+	return m, nil
+}
+
+// Spec declares a campaign: the sweep axes plus shared training budgets.
+// Expand turns it into the explicit job list.
+type Spec struct {
+	// Name labels the campaign in summaries.
+	Name string
+	// Seed is the campaign base seed every job seed derives from.
+	Seed int64
+	// Missions, Variables, Goals, Defenses and Trials are the sweep axes;
+	// the job list is their cross product.
+	Missions  []MissionSpec
+	Variables []string
+	Goals     []string
+	Defenses  []string
+	// Trials is the number of seeds per axis cell (default 1).
+	Trials int
+	// Episodes and MaxSteps bound each job's RL training (defaults follow
+	// core.ExploitConfig).
+	Episodes int
+	MaxSteps int
+	// Learner selects the RL algorithm ("reinforce" default).
+	Learner string
+	// MaxAction bounds the per-action manipulation; 0 uses per-goal
+	// defaults (0.1 deviation, 0.6 crash).
+	MaxAction float64
+	// SuccessDeviation is the peak path deviation (meters) that counts a
+	// deviation job as a successful attack (default 5).
+	SuccessDeviation float64
+}
+
+func (s *Spec) applyDefaults() {
+	if len(s.Missions) == 0 {
+		s.Missions = []MissionSpec{{Kind: "line", Size: 60, Alt: 10}}
+	}
+	if len(s.Variables) == 0 {
+		s.Variables = []string{"PIDR.INTEG"}
+	}
+	if len(s.Goals) == 0 {
+		s.Goals = []string{GoalDeviation}
+	}
+	if len(s.Defenses) == 0 {
+		s.Defenses = []string{DefenseNone}
+	}
+	if s.Trials <= 0 {
+		s.Trials = 1
+	}
+	if s.SuccessDeviation <= 0 {
+		s.SuccessDeviation = 5
+	}
+}
+
+// Validate checks the axis values without flying anything.
+func (s Spec) Validate() error {
+	s.applyDefaults()
+	for _, m := range s.Missions {
+		if _, err := m.Build(); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Goals {
+		if g != GoalDeviation && g != GoalCrash {
+			return fmt.Errorf("campaign: unknown goal %q", g)
+		}
+	}
+	for _, d := range s.Defenses {
+		if d != DefenseNone && d != DefenseCI {
+			return fmt.Errorf("campaign: unknown defense %q", d)
+		}
+	}
+	for _, v := range s.Variables {
+		if v == "" {
+			return fmt.Errorf("campaign: empty variable name")
+		}
+	}
+	return nil
+}
+
+// Job is one expanded campaign cell: a single exploit-training run.
+type Job struct {
+	// Key uniquely identifies the cell; the resume store skips keys that
+	// already completed.
+	Key string
+	// BaseSeed is the campaign seed (monitor calibration derives from it).
+	BaseSeed int64
+	// Seed is the job's own derived seed; all job-local randomness
+	// (environment episodes, policy init) streams from it.
+	Seed int64
+
+	Mission  MissionSpec
+	Variable string
+	Goal     string
+	Defense  string
+	Trial    int
+
+	Episodes         int
+	MaxSteps         int
+	Learner          string
+	MaxAction        float64
+	SuccessDeviation float64
+}
+
+// Expand produces the deterministic job list: axes iterate in declaration
+// order (mission, variable, goal, defense, trial), and every job seed is
+// derived from the campaign seed and the FNV-1a hash of the job key — so
+// adding or reordering axis values never changes the seed of an existing
+// cell, and execution order cannot influence results.
+func (s Spec) Expand() []Job {
+	s.applyDefaults()
+	var jobs []Job
+	for _, m := range s.Missions {
+		for _, v := range s.Variables {
+			for _, g := range s.Goals {
+				for _, d := range s.Defenses {
+					for t := 0; t < s.Trials; t++ {
+						key := JobKey(m, v, g, d, t)
+						jobs = append(jobs, Job{
+							Key:              key,
+							BaseSeed:         s.Seed,
+							Seed:             mathx.DeriveSeed(s.Seed, StreamOf(key)),
+							Mission:          m,
+							Variable:         v,
+							Goal:             g,
+							Defense:          d,
+							Trial:            t,
+							Episodes:         s.Episodes,
+							MaxSteps:         s.MaxSteps,
+							Learner:          s.Learner,
+							MaxAction:        s.MaxAction,
+							SuccessDeviation: s.SuccessDeviation,
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// JobKey builds the stable identifier of one campaign cell.
+func JobKey(m MissionSpec, variable, goal, defense string, trial int) string {
+	return fmt.Sprintf("%s/%s/%s/%s/t%03d", m.Name(), variable, goal, defense, trial)
+}
+
+// StreamOf hashes an arbitrary label into a mathx.DeriveSeed stream id.
+func StreamOf(label string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}

@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Metrics are the measured outcomes of one completed job. Records carry no
+// wall-clock fields on purpose: artifact bytes depend only on the spec, so
+// runs at different worker counts (or resumed runs) produce identical
+// sorted records.
+type Metrics struct {
+	// Deviation is the peak path deviation (deviation goal) or the final
+	// distance to the forbidden zone (crash goal), in meters.
+	Deviation float64 `json:"deviation"`
+	// Return is the greedy evaluation episode return.
+	Return float64 `json:"return"`
+	// BestReturn is the best training-episode return.
+	BestReturn float64 `json:"best_return"`
+	// Detected reports an in-loop detector alarm during evaluation.
+	Detected bool `json:"detected"`
+	// Crashed reports vehicle loss during evaluation.
+	Crashed bool `json:"crashed"`
+	// GoalReached reports forbidden-zone contact (crash goal only).
+	GoalReached bool `json:"goal_reached"`
+	// Success applies the campaign's success criterion: an undetected
+	// deviation beyond the threshold, or undetected zone contact.
+	Success bool `json:"success"`
+}
+
+// Record is one JSON line of the artifact store.
+type Record struct {
+	Key      string   `json:"key"`
+	Mission  string   `json:"mission"`
+	Variable string   `json:"variable"`
+	Goal     string   `json:"goal"`
+	Defense  string   `json:"defense"`
+	Trial    int      `json:"trial"`
+	Seed     int64    `json:"seed"`
+	Status   string   `json:"status"` // "ok", "error" or "panic"
+	Error    string   `json:"error,omitempty"`
+	Metrics  *Metrics `json:"metrics,omitempty"`
+}
+
+// Statuses a Record can carry.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+	StatusPanic = "panic"
+)
+
+// Store is the append-only JSON-lines artifact log. Opening an existing
+// file loads its records, so a re-run resumes where the previous one
+// stopped; every Append is flushed to the OS before returning, so a killed
+// run loses at most its in-flight jobs.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]bool
+	recs []Record
+}
+
+// OpenStore opens (or creates) the artifact file at path and indexes the
+// completed job keys found in it. Records with a non-ok status do not
+// count as completed, so failed jobs retry on resume.
+func OpenStore(path string) (*Store, error) {
+	recs, err := ReadRecords(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, done: make(map[string]bool), recs: recs}
+	for _, r := range recs {
+		if r.Status == StatusOK {
+			s.done[r.Key] = true
+		}
+	}
+	return s, nil
+}
+
+// Completed reports whether a job key already has an ok record.
+func (s *Store) Completed(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[key]
+}
+
+// CompletedCount returns the number of distinct completed keys.
+func (s *Store) CompletedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Records returns a copy of every record seen so far (loaded + appended).
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Append writes one record as a JSON line and syncs it to the OS.
+func (s *Store) Append(r Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	s.recs = append(s.recs, r)
+	if r.Status == StatusOK {
+		s.done[r.Key] = true
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// ReadRecords loads every record from a JSON-lines artifact file.
+func ReadRecords(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("campaign: %s:%d: %w", path, ln, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -194,6 +194,23 @@ func (m *ControlInvariants) Observe(s CISample) Verdict {
 	return Verdict{Stat: m.cum, Alarm: m.cum > m.Threshold}
 }
 
+// Clone returns an independent monitor with the same identified model and
+// cleared runtime state. Observe mutates the receiver, so concurrent
+// flights (e.g. parallel campaign jobs) must each run their own clone of a
+// once-calibrated monitor rather than share it.
+func (m *ControlInvariants) Clone() *ControlInvariants {
+	c := &ControlInvariants{
+		Window:       m.Window,
+		Threshold:    m.Threshold,
+		Scale:        m.Scale,
+		ObserverGain: m.ObserverGain,
+		Alpha:        m.Alpha,
+		fit:          m.fit,
+	}
+	c.Reset()
+	return c
+}
+
 // Reset clears runtime state but keeps the identified model.
 func (m *ControlInvariants) Reset() {
 	if len(m.errs) != m.Window {

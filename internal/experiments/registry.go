@@ -5,50 +5,30 @@ import "fmt"
 // Runner executes one named experiment against a suite.
 type Runner func(*Suite) (Result, error)
 
-// Registry maps experiment ids to runners, in the paper's presentation
-// order.
-func Registry() []struct {
+// Entry is one registry row: an experiment id and its runner.
+type Entry struct {
 	ID  string
 	Run Runner
-} {
-	wrap := func(f interface{}) Runner {
-		switch fn := f.(type) {
-		case func(*Suite) (*Table1Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Table2Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig3Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig5Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig6Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig7Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig8Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig9Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig10Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*Fig11Result, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*AblationResult, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*CountermeasureResult, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*CrossPlatformResult, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		case func(*Suite) (*FuzzBaselineResult, error):
-			return func(s *Suite) (Result, error) { return fn(s) }
-		default:
-			panic(fmt.Sprintf("experiments: unhandled runner type %T", f))
+}
+
+// wrap lifts a concrete experiment function onto the Runner type. The
+// explicit nil check matters: returning a nil *Fig3Result through the
+// Result interface directly would produce a non-nil interface holding a
+// nil pointer.
+func wrap[T Result](f func(*Suite) (T, error)) Runner {
+	return func(s *Suite) (Result, error) {
+		r, err := f(s)
+		if err != nil {
+			return nil, err
 		}
+		return r, nil
 	}
-	return []struct {
-		ID  string
-		Run Runner
-	}{
+}
+
+// Registry maps experiment ids to runners, in the paper's presentation
+// order.
+func Registry() []Entry {
+	return []Entry{
 		{"table1", wrap(RunTable1)},
 		{"table2", wrap(RunTable2)},
 		{"fig3", wrap(RunFig3)},
