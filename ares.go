@@ -52,7 +52,13 @@ type Config struct {
 	Missions int
 	// Seed makes the whole pipeline reproducible.
 	Seed int64
-	// Analysis tunes Algorithm 1.
+	// Analysis tunes Algorithm 1. Analysis.Parallelism bounds the worker
+	// pool for the whole Analyze stage (controller groups fan out and each
+	// group's prune/correlation/selection stages share the remainder);
+	// the default, 0, uses GOMAXPROCS. Results are bit-identical at any
+	// worker count, so the knob trades only wall-clock time — embedders
+	// running pipelines concurrently (e.g. campaign fleets) should set it
+	// to their per-job share of the machine budget.
 	Analysis AnalysisOptions
 }
 

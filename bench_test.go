@@ -6,6 +6,10 @@
 //
 //	go test -bench=. -benchmem
 //
+// Record a repo-wide baseline (see README "Performance"):
+//
+//	go test -run=^$ -bench=. -benchtime=1x ./... | go run ./cmd/benchrec > BENCH_$(date +%F).json
+//
 // Each experiment benchmark executes the full experiment per iteration (in
 // quick mode, so the suite stays laptop-sized) and reports headline shape
 // metrics via b.ReportMetric; the text tables themselves come from
@@ -265,6 +269,33 @@ func BenchmarkCorrelationMatrix24x3000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		stats.CorrelationMatrix(series)
 	}
+}
+
+// BenchmarkPipelineAnalyze measures the public-facade Analyze stage (the
+// per-run Algorithm 1 cost a campaign pays for every job) over a shared
+// profile, at one-worker and default parallelism.
+func BenchmarkPipelineAnalyze(b *testing.B) {
+	runAt := func(b *testing.B, parallelism int) {
+		p := NewPipeline(Config{
+			Seed:     1,
+			Missions: 2,
+			Analysis: AnalysisOptions{Parallelism: parallelism},
+		})
+		if err := p.Profile(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.Analyze(); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(p.TSVL())), "TSVL-vars")
+			}
+		}
+	}
+	b.Run("w1", func(b *testing.B) { runAt(b, 1) })
+	b.Run("default", func(b *testing.B) { runAt(b, 0) })
 }
 
 func BenchmarkStepwiseAIC(b *testing.B) {

@@ -1,0 +1,128 @@
+// Command benchrec converts `go test -bench` output on stdin into the
+// repository's BENCH_*.json baseline format, so benchmark trajectories can
+// be committed and diffed across PRs:
+//
+//	go test -run=^$ -bench=. -benchtime=1x ./... | go run ./cmd/benchrec > BENCH_$(date +%F).json
+//
+// Compare two baselines with any JSON diff; the per-benchmark key is
+// pkg + name, and every metric go test reported (ns/op plus b.ReportMetric
+// extras) is preserved.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one recorded benchmark.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the BENCH_*.json document.
+type Baseline struct {
+	RecordedAt string   `json:"recorded_at"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	base, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	base.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output and collects every benchmark
+// line, tracking the current package from the interleaved "pkg:" headers.
+func parse(r io.Reader) (*Baseline, error) {
+	base := &Baseline{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    []Result{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		res.Pkg = pkg
+		base.Results = append(base.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return base, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-P  iters  v1 unit1  v2 unit2 …"
+// line. Malformed lines are skipped rather than fatal, so partial bench
+// output still records.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Result{}, false
+	}
+	return Result{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/ares-cps/ares/internal/stats
+cpu: Some CPU @ 2.0GHz
+BenchmarkCorrelationMatrix/V=128/w1-8         	      10	 5000000 ns/op
+BenchmarkCorrelationMatrixNaive/V=128-8       	       2	25000000 ns/op
+BenchmarkGenerateTSVL/V=32/w1-8               	       5	 3000000 ns/op	    41.0 models-fitted
+PASS
+ok  	github.com/ares-cps/ares/internal/stats	2.1s
+pkg: github.com/ares-cps/ares
+BenchmarkPipelineAnalyze/w1 	       1	 90000000 ns/op	 12.0 TSVL-vars
+garbage line that is not a benchmark
+BenchmarkBroken	notanumber	1 ns/op
+`
+
+func TestParse(t *testing.T) {
+	base, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(base.Results), base.Results)
+	}
+
+	first := base.Results[0]
+	if first.Pkg != "github.com/ares-cps/ares/internal/stats" {
+		t.Errorf("pkg = %q", first.Pkg)
+	}
+	if first.Name != "BenchmarkCorrelationMatrix/V=128/w1" || first.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", first.Name, first.Procs)
+	}
+	if first.Iterations != 10 || first.Metrics["ns/op"] != 5e6 {
+		t.Errorf("iters/ns = %d/%v", first.Iterations, first.Metrics["ns/op"])
+	}
+
+	tsvl := base.Results[2]
+	if tsvl.Metrics["models-fitted"] != 41 {
+		t.Errorf("extra metric lost: %+v", tsvl.Metrics)
+	}
+
+	last := base.Results[3]
+	if last.Pkg != "github.com/ares-cps/ares" || last.Name != "BenchmarkPipelineAnalyze/w1" {
+		t.Errorf("last = %+v", last)
+	}
+	// A bare name with no -P suffix keeps procs = 1.
+	if last.Procs != 1 {
+		t.Errorf("procs = %d, want 1", last.Procs)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}

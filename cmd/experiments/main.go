@@ -22,6 +22,7 @@ import (
 
 	"github.com/ares-cps/ares/internal/campaign"
 	"github.com/ares-cps/ares/internal/experiments"
+	"github.com/ares-cps/ares/internal/par"
 )
 
 func main() {
@@ -43,6 +44,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	suite := experiments.NewSuite(*seed, *quick)
+	if *parallel > 1 {
+		// Split one machine-wide concurrency budget between the experiment
+		// pool and the Algorithm 1 stages each experiment runs internally,
+		// instead of letting every worker open a full-width analysis pool.
+		suite.Analysis.Parallelism = par.Inner(0, *parallel)
+	}
 	runOne := func(id string, runner experiments.Runner, w io.Writer) error {
 		start := time.Now()
 		res, err := runner(suite)

@@ -1,0 +1,52 @@
+package ares
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestReportGolden pins the full rendered report at a fixed seed. The whole
+// stack is deterministic — simulation, profiling, Algorithm 1 and the text
+// renderer — so any byte of drift means an unintended behaviour change
+// somewhere in the pipeline. Regenerate deliberately with:
+//
+//	go test -run TestReportGolden -update .
+func TestReportGolden(t *testing.T) {
+	p := NewPipeline(Config{Seed: 1, Missions: 2})
+	if err := p.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Report().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report_seed1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestReportGolden -update .` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report text drifted from %s.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+}

@@ -4,9 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"time"
+
+	"github.com/ares-cps/ares/internal/par"
 )
 
 // Executor runs one job and returns its metrics. Implementations must be
@@ -28,7 +29,7 @@ func (s RunStats) Executed() int { return s.OK + s.Errors + s.Panics }
 
 // Runner executes a campaign's jobs on a bounded worker pool.
 type Runner struct {
-	// Workers is the pool size; <=0 uses runtime.NumCPU().
+	// Workers is the pool size; <=0 uses the process budget (GOMAXPROCS).
 	Workers int
 	// Execute runs one job; nil uses the built-in ARES executor.
 	Execute Executor
@@ -60,19 +61,20 @@ func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, er
 	if exec == nil {
 		exec = NewExecutor()
 	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+	workers := par.Workers(r.Workers)
 	logw := r.Log
 	if logw == nil {
 		logw = io.Discard
 	}
 
+	// Jobs and any analysis they run internally share one concurrency
+	// budget: W job workers each get ~GOMAXPROCS/W analysis workers.
+	inner := par.Inner(0, workers)
 	start := time.Now()
 	var mu sync.Mutex // guards stats and logw
 	err := ForEach(ctx, workers, len(pending), func(i int) error {
 		job := pending[i]
+		job.Parallelism = inner
 		rec := runJob(ctx, exec, job)
 		if err := store.Append(rec); err != nil {
 			return err
@@ -132,60 +134,8 @@ func runJob(ctx context.Context, exec Executor, job Job) (rec Record) {
 // ForEach runs fn(0) … fn(n-1) on up to `workers` goroutines and waits for
 // all of them. The first non-nil error (or ctx cancellation) stops further
 // indices from starting — already-running calls finish — and is returned.
+// It is par.ForEach, re-exported because campaign consumers (cmd/arescamp,
+// cmd/experiments) predate the shared package.
 func ForEach(ctx context.Context, workers, n int, fn func(int) error) error {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if n <= 0 {
-		return ctx.Err()
-	}
-
-	idx := make(chan int)
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-	var firstErr error
-	var errMu sync.Mutex
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stopOnce.Do(func() { close(stop) })
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case idx <- i:
-		case <-stop:
-			break feed
-		case <-ctx.Done():
-			fail(ctx.Err())
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-
-	errMu.Lock()
-	defer errMu.Unlock()
-	return firstErr
+	return par.ForEach(ctx, workers, n, fn)
 }

@@ -1,9 +1,10 @@
 package campaign
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -65,15 +66,39 @@ type Store struct {
 
 // OpenStore opens (or creates) the artifact file at path and indexes the
 // completed job keys found in it. Records with a non-ok status do not
-// count as completed, so failed jobs retry on resume.
+// count as completed, so failed jobs retry on resume. A corrupt or
+// truncated trailing line — the signature of a run killed mid-Append — is
+// dropped (the file is truncated back to the last intact record) so the
+// campaign resumes from the intact prefix instead of erroring out.
 func OpenStore(path string) (*Store, error) {
-	recs, err := ReadRecords(path)
+	recs, valid, needNL, err := readRecordsPrefix(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	fail := func(err error) (*Store, error) {
+		f.Close()
+		return nil, err
+	}
+	if info, err := f.Stat(); err != nil {
+		return fail(err)
+	} else if info.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	// A valid final record without a newline (crash between Write and the
+	// next Append) must not have the next record glued onto its line.
+	if needNL {
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			return fail(err)
+		}
 	}
 	s := &Store{f: f, done: make(map[string]bool), recs: recs}
 	for _, r := range recs {
@@ -132,29 +157,50 @@ func (s *Store) Close() error {
 	return s.f.Close()
 }
 
-// ReadRecords loads every record from a JSON-lines artifact file.
+// ReadRecords loads every record from a JSON-lines artifact file. A corrupt
+// or truncated trailing line — what a run killed mid-Append leaves behind —
+// is dropped and the intact prefix returned; a corrupt line anywhere else is
+// still an error, because records after it would be ambiguous.
 func ReadRecords(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	recs, _, _, err := readRecordsPrefix(path)
+	return recs, err
+}
+
+// readRecordsPrefix parses the artifact file and additionally reports the
+// byte length of the intact record prefix (so OpenStore can truncate a
+// crash-damaged tail before appending) and whether the last intact record
+// is missing its terminating newline.
+func readRecordsPrefix(path string) (recs []Record, valid int64, needNL bool, err error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
-	defer f.Close()
-	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for ln := 1; sc.Scan(); ln++ {
-		line := sc.Bytes()
+	off := 0
+	for ln := 1; off < len(data); ln++ {
+		next := len(data)
+		terminated := false
+		if end := bytes.IndexByte(data[off:], '\n'); end >= 0 {
+			next = off + end + 1
+			terminated = true
+		}
+		line := bytes.TrimSpace(data[off:next])
 		if len(line) == 0 {
+			off = next
+			valid = int64(next)
 			continue
 		}
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil {
-			return nil, fmt.Errorf("campaign: %s:%d: %w", path, ln, err)
+			if len(bytes.TrimSpace(data[next:])) == 0 {
+				// Damaged tail: keep the intact prefix ending at valid.
+				return recs, valid, needNL, nil
+			}
+			return nil, 0, false, fmt.Errorf("campaign: %s:%d: %w", path, ln, err)
 		}
 		recs = append(recs, r)
+		off = next
+		valid = int64(next)
+		needNL = !terminated
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return recs, nil
+	return recs, valid, needNL, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/ares-cps/ares/internal/par"
 	"github.com/ares-cps/ares/internal/stats"
 )
 
@@ -18,6 +19,12 @@ type AnalysisOptions struct {
 	// SkipClustering and Exhaustive select the ablation variants.
 	SkipClustering bool
 	Exhaustive     bool
+	// Parallelism is the concurrency budget for the whole analysis: the
+	// controller groups fan out across it and each group's Algorithm 1
+	// stages (prune, correlation, model selection) share the remainder, so
+	// group workers × in-group workers never exceeds it. <= 0 uses the
+	// process budget (GOMAXPROCS). Results are identical at any value.
+	Parallelism int
 }
 
 // pruneOptions returns the configured prune options, defaulting to the
@@ -69,6 +76,7 @@ func AnalyzeGroup(p *Profile, g ControllerGroup, opts AnalysisOptions) (*GroupAn
 		Prune:          opts.pruneOptions(),
 		SkipClustering: opts.SkipClustering,
 		Exhaustive:     opts.Exhaustive,
+		Parallelism:    par.Workers(opts.Parallelism),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: group %s: %w", g.Name, err)
@@ -90,15 +98,29 @@ func AnalyzeGroup(p *Profile, g ControllerGroup, opts AnalysisOptions) (*GroupAn
 }
 
 // AnalyzeAllGroups runs Algorithm 1 for every standard controller group —
-// the full Table II.
+// the full Table II. Groups fan out across the Parallelism budget and each
+// group's internal stages run on its share of the remainder; results land
+// in fixed slots and errors surface in group order, so the output (and the
+// error, if any) is identical to a sequential run at any worker count.
 func AnalyzeAllGroups(p *Profile, opts AnalysisOptions) ([]*GroupAnalysis, error) {
-	var out []*GroupAnalysis
-	for _, g := range StandardGroups() {
-		ga, err := AnalyzeGroup(p, g, opts)
+	groups := StandardGroups()
+	budget := par.Workers(opts.Parallelism)
+	outer := budget
+	if outer > len(groups) {
+		outer = len(groups)
+	}
+	inner := opts
+	inner.Parallelism = par.Inner(budget, outer)
+
+	out := make([]*GroupAnalysis, len(groups))
+	errs := make([]error, len(groups))
+	par.Do(outer, len(groups), func(i int) {
+		out[i], errs[i] = AnalyzeGroup(p, groups[i], inner)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ga)
 	}
 	return out, nil
 }
@@ -134,6 +156,7 @@ func AnalyzeRoll(p *Profile, opts AnalysisOptions) (*RollAnalysis, error) {
 		Prune:          opts.pruneOptions(),
 		SkipClustering: opts.SkipClustering,
 		Exhaustive:     opts.Exhaustive,
+		Parallelism:    par.Workers(opts.Parallelism),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestAnalyzeParallelEquivalence is the concurrency regression guard for
+// the Algorithm 1 hot path: the parallel analysis must produce output
+// byte-identical to the sequential path at every worker count — same
+// TSVLs, same cluster assignments, same correlation matrices, same
+// rendered report text. Any scheduling-dependent data flow (a shared
+// accumulator, a map iterated concurrently, a non-deterministic merge)
+// fails this test.
+func TestAnalyzeParallelEquivalence(t *testing.T) {
+	prof := collectTestProfile(t)
+
+	run := func(workers int) ([]*GroupAnalysis, *RollAnalysis, string) {
+		t.Helper()
+		opts := AnalysisOptions{Parallelism: workers}
+		groups, err := AnalyzeAllGroups(prof, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		roll, err := AnalyzeRoll(prof, opts)
+		if err != nil {
+			t.Fatalf("workers=%d roll: %v", workers, err)
+		}
+		rep := &Report{
+			ProfileSamples:  prof.Samples(),
+			ProfileMissions: len(prof.MissionLens),
+			Groups:          groups,
+			Roll:            roll,
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteText(&buf); err != nil {
+			t.Fatalf("workers=%d report: %v", workers, err)
+		}
+		return groups, roll, buf.String()
+	}
+
+	seqGroups, seqRoll, seqText := run(1)
+
+	for _, workers := range []int{2, 8} {
+		groups, roll, text := run(workers)
+
+		if text != seqText {
+			t.Errorf("workers=%d: report text differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, seqText, text)
+		}
+		if len(groups) != len(seqGroups) {
+			t.Fatalf("workers=%d: %d groups, want %d", workers, len(groups), len(seqGroups))
+		}
+		for gi, g := range groups {
+			want := seqGroups[gi]
+			if g.Group.Name != want.Group.Name {
+				t.Fatalf("workers=%d: group %d is %s, want %s (order changed)",
+					workers, gi, g.Group.Name, want.Group.Name)
+			}
+			if !reflect.DeepEqual(g.TSVL, want.TSVL) {
+				t.Errorf("workers=%d %s: TSVL %v != sequential %v",
+					workers, g.Group.Name, g.TSVL, want.TSVL)
+			}
+			if !reflect.DeepEqual(g.Report.Clusters, want.Report.Clusters) {
+				t.Errorf("workers=%d %s: clusters %v != sequential %v",
+					workers, g.Group.Name, g.Report.Clusters, want.Report.Clusters)
+			}
+			if !reflect.DeepEqual(g.Report.Kept, want.Report.Kept) {
+				t.Errorf("workers=%d %s: kept list differs", workers, g.Group.Name)
+			}
+			if !reflect.DeepEqual(g.Report.Corr, want.Report.Corr) {
+				t.Errorf("workers=%d %s: correlation matrix not bit-identical",
+					workers, g.Group.Name)
+			}
+			if g.Report.ModelsFitted != want.Report.ModelsFitted {
+				t.Errorf("workers=%d %s: ModelsFitted %d != %d",
+					workers, g.Group.Name, g.Report.ModelsFitted, want.Report.ModelsFitted)
+			}
+		}
+		if !reflect.DeepEqual(roll.TSVL, seqRoll.TSVL) {
+			t.Errorf("workers=%d: roll TSVL %v != sequential %v", workers, roll.TSVL, seqRoll.TSVL)
+		}
+		if !reflect.DeepEqual(roll.Order, seqRoll.Order) {
+			t.Errorf("workers=%d: roll dendrogram order differs", workers)
+		}
+		if !reflect.DeepEqual(roll.Corr, seqRoll.Corr) {
+			t.Errorf("workers=%d: roll correlation matrix not bit-identical", workers)
+		}
+	}
+}
+
+// TestAnalyzeDefaultParallelismMatchesSequential pins the default
+// (Parallelism 0 → GOMAXPROCS) to the sequential result too, since that is
+// what every existing caller gets implicitly.
+func TestAnalyzeDefaultParallelismMatchesSequential(t *testing.T) {
+	prof := collectTestProfile(t)
+	seq, err := AnalyzeAllGroups(prof, AnalysisOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := AnalyzeAllGroups(prof, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i].TSVL, def[i].TSVL) {
+			t.Errorf("%s: default-parallelism TSVL %v != sequential %v",
+				seq[i].Group.Name, def[i].TSVL, seq[i].TSVL)
+		}
+		if !reflect.DeepEqual(seq[i].Report.Corr, def[i].Report.Corr) {
+			t.Errorf("%s: default-parallelism correlation matrix differs", seq[i].Group.Name)
+		}
+	}
+}

@@ -53,11 +53,13 @@ func RunAblation(s *Suite) (*AblationResult, error) {
 	res := &AblationResult{}
 
 	// (1) Clustering vs none.
-	clustered, err := core.AnalyzeRoll(prof, core.AnalysisOptions{})
+	clustered, err := core.AnalyzeRoll(prof, s.Analysis)
 	if err != nil {
 		return nil, err
 	}
-	flat, err := core.AnalyzeRoll(prof, core.AnalysisOptions{SkipClustering: true})
+	flatOpts := s.Analysis
+	flatOpts.SkipClustering = true
+	flat, err := core.AnalyzeRoll(prof, flatOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,11 +74,13 @@ func RunAblation(s *Suite) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := core.AnalyzeGroup(prof, sqrt, core.AnalysisOptions{})
+	sw, err := core.AnalyzeGroup(prof, sqrt, s.Analysis)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := core.AnalyzeGroup(prof, sqrt, core.AnalysisOptions{Exhaustive: true})
+	exOpts := s.Analysis
+	exOpts.Exhaustive = true
+	ex, err := core.AnalyzeGroup(prof, sqrt, exOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,12 @@ type Suite struct {
 	// Quick reduces trial counts and training budgets for smoke tests;
 	// full runs reproduce the paper-scale settings.
 	Quick bool
+	// Analysis tunes Algorithm 1 for every experiment that runs it. The
+	// zero value uses the defaults (full-machine parallelism); callers
+	// running several suites at once should set Parallelism to their
+	// per-suite share so the pools don't multiply. Results are identical
+	// at any setting.
+	Analysis core.AnalysisOptions
 
 	mu      sync.Mutex
 	profile *core.Profile

@@ -26,7 +26,7 @@ func RunFig3(s *Suite) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	roll, err := core.AnalyzeRoll(prof, core.AnalysisOptions{})
+	roll, err := core.AnalyzeRoll(prof, s.Analysis)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +94,7 @@ func RunFig5(s *Suite) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	roll, err := core.AnalyzeRoll(prof, core.AnalysisOptions{})
+	roll, err := core.AnalyzeRoll(prof, s.Analysis)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,7 @@ func RunTable2(s *Suite) (*Table2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := core.AnalyzeAllGroups(prof, core.AnalysisOptions{})
+	rows, err := core.AnalyzeAllGroups(prof, s.Analysis)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,119 @@
+// Package par provides the repository's shared bounded-concurrency
+// primitives. Every worker pool — campaign job fleets, Algorithm 1's
+// correlation/prune/selection fan-out, parallel experiment runs — draws
+// from these helpers, so one GOMAXPROCS-derived budget governs the whole
+// process and nested pools can split it instead of multiplying it.
+//
+// All helpers are deterministic by construction for workloads whose units
+// write to disjoint result slots: scheduling order may vary between runs,
+// but no primitive here introduces cross-unit data flow, so outputs are
+// identical at any worker count.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n itself when positive, otherwise
+// the process budget (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Inner splits a concurrency budget across `outer` concurrent consumers:
+// the per-consumer worker count such that outer × Inner ≈ budget, never
+// below 1. Nested pools use this so a campaign running W jobs gives each
+// job's analysis budget/W workers instead of W × budget goroutines.
+func Inner(budget, outer int) int {
+	if outer <= 0 {
+		return Workers(budget)
+	}
+	inner := Workers(budget) / outer
+	if inner < 1 {
+		return 1
+	}
+	return inner
+}
+
+// ForEach runs fn(0) … fn(n-1) on up to `workers` goroutines and waits for
+// all of them. The first non-nil error (or ctx cancellation) stops further
+// indices from starting — already-running calls finish — and is returned.
+// workers <= 0 uses the process budget.
+func ForEach(ctx context.Context, workers, n int, fn func(int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+
+	idx := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}
+
+// Do runs fn(0) … fn(n-1) on up to `workers` goroutines and waits for all
+// of them — ForEach without errors or cancellation, for pure fan-out
+// kernels. With workers == 1 (or n == 1) it runs inline on the calling
+// goroutine, so single-worker invocations cost nothing extra.
+func Do(workers, n int, fn func(int)) {
+	workers = Workers(workers)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ForEach(context.Background(), workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}

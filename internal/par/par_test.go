@@ -1,0 +1,110 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d", got)
+	}
+}
+
+func TestInner(t *testing.T) {
+	cases := []struct{ budget, outer, want int }{
+		{8, 2, 4},
+		{8, 3, 2},
+		{8, 16, 1}, // oversubscribed outer: inner floors at 1
+		{1, 4, 1},
+		{6, 6, 1},
+	}
+	for _, c := range cases {
+		if got := Inner(c.budget, c.outer); got != c.want {
+			t.Errorf("Inner(%d, %d) = %d, want %d", c.budget, c.outer, got, c.want)
+		}
+	}
+	if got := Inner(4, 0); got != 4 {
+		t.Errorf("Inner(4, 0) = %d, want the full budget", got)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var sum atomic.Int64
+		var calls atomic.Int64
+		err := ForEach(context.Background(), workers, 50, func(i int) error {
+			sum.Add(int64(i))
+			calls.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != 50 || sum.Load() != 49*50/2 {
+			t.Fatalf("workers=%d: calls=%d sum=%d", workers, calls.Load(), sum.Load())
+		}
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls.Load() == 1000 {
+		t.Error("error did not stop the feed")
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := ForEach(ctx, 1, 1000, func(i int) error {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() == 1000 {
+		t.Error("cancellation did not stop the feed")
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoDisjointSlots(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		out := make([]int, 64)
+		Do(workers, len(out), func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}

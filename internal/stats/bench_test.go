@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSeries builds V correlated random series of length T, the shape of
+// a profiled ESVL (Table II's PID group is V=64 over ~3000 samples).
+func benchSeries(v, t int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]float64, t)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	series := make([][]float64, v)
+	for i := range series {
+		s := make([]float64, t)
+		w := rng.Float64()
+		for j := range s {
+			s[j] = rng.NormFloat64() + w*base[j]
+		}
+		series[i] = s
+	}
+	return series
+}
+
+// BenchmarkCorrelationMatrix measures the single-pass standardize-then-dot
+// kernel at the paper's roll-analysis scale (V=24…128) across worker
+// counts. Compare against BenchmarkCorrelationMatrixNaive (the seed
+// per-pair implementation) for the kernel speedup, and across /wN variants
+// for parallel scaling.
+func BenchmarkCorrelationMatrix(b *testing.B) {
+	for _, v := range []int{32, 128} {
+		series := benchSeries(v, 2000)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("V=%d/w%d", v, workers), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					CorrelationMatrixWorkers(series, workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCorrelationMatrixNaive is the seed implementation (per-pair
+// Pearson, O(V²·T) redundant mean/variance passes), kept as the regression
+// baseline the kernel's ≥2× claim is measured against.
+func BenchmarkCorrelationMatrixNaive(b *testing.B) {
+	for _, v := range []int{32, 128} {
+		series := benchSeries(v, 2000)
+		b.Run(fmt.Sprintf("V=%d", v), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pearsonMatrixNaive(series)
+			}
+		})
+	}
+}
+
+// BenchmarkPruneStateVars measures the assumption-check stage (difference,
+// Jarque-Bera, runs test per variable) at ESVL scale.
+func BenchmarkPruneStateVars(b *testing.B) {
+	series := benchSeries(64, 2000)
+	names := make([]string, len(series))
+	for i := range names {
+		names[i] = fmt.Sprintf("v%02d", i)
+	}
+	opts := DefaultPruneOptions()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("V=64/w%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				PruneStateVarsWorkers(names, series, opts, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateTSVL runs the whole Algorithm 1 (prune → correlate →
+// cluster → stepwise AIC) on a synthetic 32-variable ESVL.
+func BenchmarkGenerateTSVL(b *testing.B) {
+	series := benchSeries(32, 1500)
+	names := make([]string, len(series))
+	for i := range names {
+		names[i] = fmt.Sprintf("v%02d", i)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("V=32/w%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := GenerateTSVL(TSVLInput{
+					Names:       names,
+					Series:      series,
+					Responses:   []string{"v00", "v07"},
+					Parallelism: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.ModelsFitted), "models-fitted")
+				}
+			}
+		})
+	}
+}

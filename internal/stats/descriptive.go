@@ -111,21 +111,3 @@ func IsConstant(xs []float64, tol float64) bool {
 	}
 	return true
 }
-
-// CorrelationMatrix computes the pairwise Pearson matrix for the given
-// series (rows are variables). Series must share a common length.
-func CorrelationMatrix(series [][]float64) [][]float64 {
-	n := len(series)
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-		m[i][i] = 1
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			r := Pearson(series[i], series[j])
-			m[i][j], m[j][i] = r, r
-		}
-	}
-	return m
-}

@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"math"
+
+	"github.com/ares-cps/ares/internal/par"
+)
 
 // JarqueBera runs the Jarque-Bera normality test, returning the statistic
 // and its p-value (χ², 2 degrees of freedom). Small p-values reject
@@ -133,8 +137,17 @@ func DefaultPruneOptions() PruneOptions {
 // updates, and noise-driven variables pass while frozen or saturated ones
 // are pruned.
 func PruneStateVars(names []string, series [][]float64, opts PruneOptions) []PruneResult {
+	return PruneStateVarsWorkers(names, series, opts, 1)
+}
+
+// PruneStateVarsWorkers is PruneStateVars fanned out over a bounded worker
+// pool: each variable's assumption check (differencing, Jarque-Bera, runs
+// test) is independent and writes only its own result slot, so the output
+// is identical at any worker count. workers <= 0 uses the process budget.
+func PruneStateVarsWorkers(names []string, series [][]float64, opts PruneOptions, workers int) []PruneResult {
 	out := make([]PruneResult, len(names))
-	for i, name := range names {
+	par.Do(workers, len(names), func(i int) {
+		name := names[i]
 		res := PruneResult{Name: name, Kept: true}
 		xs := series[i]
 		switch {
@@ -166,7 +179,7 @@ func PruneStateVars(names []string, series [][]float64, opts PruneOptions) []Pru
 			}
 		}
 		out[i] = res
-	}
+	})
 	return out
 }
 

@@ -3,6 +3,8 @@ package stats
 import (
 	"fmt"
 	"sort"
+
+	"github.com/ares-cps/ares/internal/par"
 )
 
 // TSVLInput configures one run of Algorithm 1 (target state variable list
@@ -29,6 +31,11 @@ type TSVLInput struct {
 	// Exhaustive replaces stepwise AIC with exhaustive subset search —
 	// the model-selection ablation. Practical only for small clusters.
 	Exhaustive bool
+	// Parallelism bounds the worker pool for the prune, correlation and
+	// model-selection stages; <= 0 uses the process budget (GOMAXPROCS).
+	// Output is identical at any value: every parallel unit writes a
+	// disjoint slot and merges happen in deterministic input order.
+	Parallelism int
 }
 
 // TSVLReport is the full output of Algorithm 1.
@@ -74,11 +81,13 @@ func GenerateTSVL(in TSVLInput) (*TSVLReport, error) {
 		in.Prune = DefaultPruneOptions()
 	}
 
+	workers := par.Workers(in.Parallelism)
+
 	rep := &TSVLReport{Models: make(map[string]*StepwiseResult)}
 
 	// Lines 1–5 + 16: assumption check. Response variables are exempt
 	// from pruning (they are what we explain, not what we select).
-	rep.Pruned = PruneStateVars(in.Names, in.Series, in.Prune)
+	rep.Pruned = PruneStateVarsWorkers(in.Names, in.Series, in.Prune, workers)
 	keptIdx := make([]int, 0, len(in.Names))
 	for i, pr := range rep.Pruned {
 		if pr.Kept || containsStr(in.Responses, in.Names[i]) {
@@ -96,7 +105,7 @@ func GenerateTSVL(in TSVLInput) (*TSVLReport, error) {
 	}
 
 	// Lines 14–15: pairwise correlation matrix.
-	rep.Corr = CorrelationMatrix(keptSeries)
+	rep.Corr = CorrelationMatrixWorkers(keptSeries, workers)
 
 	// Line 17: hierarchical clustering into subsets.
 	var clusters [][]int
@@ -118,8 +127,18 @@ func GenerateTSVL(in TSVLInput) (*TSVLReport, error) {
 		rep.Clusters = append(rep.Clusters, names)
 	}
 
-	// Lines 18–21: per-subset model selection + significance check.
-	tsvlSet := make(map[string]bool)
+	// Lines 18–21: per-subset model selection + significance check. Every
+	// (cluster, response) pair is an independent regression search over its
+	// own predictor set; the searches fan out over the worker pool and the
+	// results merge afterwards in input order, so the report is identical
+	// at any worker count.
+	type modelTask struct {
+		ci       int
+		respName string
+		y        []float64
+		preds    map[string][]float64
+	}
+	var tasks []modelTask
 	for ci, cluster := range clusters {
 		for _, respName := range in.Responses {
 			respIdx := -1
@@ -144,20 +163,28 @@ func GenerateTSVL(in TSVLInput) (*TSVLReport, error) {
 			if len(preds) == 0 {
 				continue
 			}
-			var sel *StepwiseResult
-			if in.Exhaustive {
-				sel = ExhaustiveAIC(y, preds)
-			} else {
-				sel = StepwiseAIC(y, preds)
-			}
-			rep.ModelsFitted += sel.ModelsFitted
-			rep.Models[fmt.Sprintf("%s[c%d]", respName, ci)] = sel
-			if sel.Model == nil {
-				continue
-			}
-			for _, name := range sel.Model.SignificantPredictors(in.Alpha) {
-				tsvlSet[name] = true
-			}
+			tasks = append(tasks, modelTask{ci: ci, respName: respName, y: y, preds: preds})
+		}
+	}
+	sels := make([]*StepwiseResult, len(tasks))
+	par.Do(workers, len(tasks), func(ti int) {
+		t := tasks[ti]
+		if in.Exhaustive {
+			sels[ti] = ExhaustiveAIC(t.y, t.preds)
+		} else {
+			sels[ti] = StepwiseAIC(t.y, t.preds)
+		}
+	})
+	tsvlSet := make(map[string]bool)
+	for ti, t := range tasks {
+		sel := sels[ti]
+		rep.ModelsFitted += sel.ModelsFitted
+		rep.Models[fmt.Sprintf("%s[c%d]", t.respName, t.ci)] = sel
+		if sel.Model == nil {
+			continue
+		}
+		for _, name := range sel.Model.SignificantPredictors(in.Alpha) {
+			tsvlSet[name] = true
 		}
 	}
 	rep.TSVL = sortedKeys(tsvlSet)
