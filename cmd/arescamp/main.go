@@ -8,6 +8,7 @@
 //	arescamp [-missions L] [-vars L] [-goals L] [-defenses L] [-trials N]
 //	         [-seed S] [-episodes N] [-steps N] [-workers N]
 //	         [-out FILE] [-csv DIR] [-q]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Re-running with the same -out file resumes the campaign: jobs whose keys
 // already have an ok record are skipped, so an interrupted fleet picks up
@@ -26,6 +27,7 @@ import (
 	"syscall"
 
 	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/profiling"
 )
 
 func main() {
@@ -35,7 +37,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("arescamp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	missions := fs.String("missions", "line:60", "comma-separated missions (kind:size[:alt])")
@@ -51,9 +53,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	csvDir := fs.String("csv", "", "also export the summary as CSV into this directory")
 	summaryOnly := fs.Bool("summary", false, "only aggregate the existing -out file; run nothing")
 	quiet := fs.Bool("q", false, "suppress per-job progress lines")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if !*summaryOnly {
 		spec := campaign.Spec{

@@ -72,6 +72,33 @@ func TestSummaryOnly(t *testing.T) {
 	}
 }
 
+// TestProfileFlags: -cpuprofile/-memprofile write non-empty pprof files
+// alongside a mini campaign.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-missions", "line:40", "-vars", "PIDR.INTEG",
+		"-trials", "1", "-episodes", "2", "-steps", "6",
+		"-out", filepath.Join(dir, "run.jsonl"),
+		"-cpuprofile", cpu, "-memprofile", mem, "-q",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var sink bytes.Buffer
 	if err := run([]string{"-missions", "loop:9"}, &sink, &sink); err == nil {

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	experiments [-exp id] [-seed S] [-quick] [-csv DIR] [-parallel N]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no -exp it runs every experiment in the paper's order. Experiment ids:
 // table1, table2, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, ablation.
@@ -23,6 +24,7 @@ import (
 	"github.com/ares-cps/ares/internal/campaign"
 	"github.com/ares-cps/ares/internal/experiments"
 	"github.com/ares-cps/ares/internal/par"
+	"github.com/ares-cps/ares/internal/profiling"
 )
 
 func main() {
@@ -32,16 +34,28 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	exp := fs.String("exp", "", "run only this experiment id (default: all)")
 	seed := fs.Int64("seed", 42, "random seed")
 	quick := fs.Bool("quick", false, "reduced trial counts and training budgets")
 	csvDir := fs.String("csv", "", "also export CSV data into this directory")
 	parallel := fs.Int("parallel", 0, "run experiments on this many workers (0 = sequential)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	suite := experiments.NewSuite(*seed, *quick)
 	if *parallel > 1 {

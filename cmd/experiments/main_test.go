@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,6 +17,28 @@ func TestExperimentsSingleQuick(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no CSV exported: %v", err)
+	}
+}
+
+// TestExperimentsProfileFlags: -cpuprofile/-memprofile write non-empty
+// pprof files alongside a normal run.
+func TestExperimentsProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-quick",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ package par
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 )
@@ -116,4 +117,73 @@ func Do(workers, n int, fn func(int)) {
 		fn(i)
 		return nil
 	})
+}
+
+// Chunks splits [0, n) into min(workers, n) contiguous spans and runs
+// fn(w, lo, hi) once per span, concurrently. The span id w ∈ [0, spans)
+// lets callers index per-worker scratch without synchronization: exactly
+// one invocation owns each w. Span boundaries depend only on (workers, n),
+// never on scheduling, so a kernel whose units write disjoint slots stays
+// deterministic at any worker count. workers <= 0 uses the process budget.
+func Chunks(workers, n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	spans := Workers(workers)
+	if spans > n {
+		spans = n
+	}
+	// Balanced split: the first `rem` spans get one extra index.
+	size, rem := n/spans, n%spans
+	bounds := func(w int) (int, int) {
+		lo := w*size + min(w, rem)
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		return lo, hi
+	}
+	Do(spans, spans, func(w int) {
+		lo, hi := bounds(w)
+		fn(w, lo, hi)
+	})
+}
+
+// Argmin evaluates score(w, i) for i ∈ [0, n) across contiguous spans (w is
+// the Chunks span id, usable as a scratch index) and returns the index and
+// value of the smallest score. Ties and NaNs resolve deterministically: the
+// lowest index attaining the minimum wins and NaN scores are skipped, so the
+// result is identical at any worker count. Returns (-1, +Inf) when n <= 0 or
+// every score is NaN.
+func Argmin(workers, n int, score func(w, i int) float64) (int, float64) {
+	if n <= 0 {
+		return -1, math.Inf(1)
+	}
+	spans := Workers(workers)
+	if spans > n {
+		spans = n
+	}
+	bestIdx := make([]int, spans)
+	bestVal := make([]float64, spans)
+	Chunks(spans, n, func(w, lo, hi int) {
+		idx, val := -1, math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if s := score(w, i); s < val || (idx < 0 && s <= val) {
+				// `s <= val` admits a leading +Inf score so that an
+				// all-+Inf span still reports its first index; NaN
+				// fails both comparisons and is skipped.
+				idx, val = i, s
+			}
+		}
+		bestIdx[w], bestVal[w] = idx, val
+	})
+	idx, val := -1, math.Inf(1)
+	for w := 0; w < spans; w++ {
+		// Spans are scanned in index order, so strict < keeps the lowest
+		// winning index.
+		if bestIdx[w] >= 0 && (bestVal[w] < val || idx < 0) {
+			idx, val = bestIdx[w], bestVal[w]
+		}
+	}
+	return idx, val
 }

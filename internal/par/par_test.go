@@ -3,6 +3,7 @@ package par
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -106,5 +107,85 @@ func TestDoDisjointSlots(t *testing.T) {
 				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
 			}
 		}
+	}
+}
+
+func TestChunksCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 64, 101} {
+			out := make([]int, n)
+			spanOf := make([]int, n)
+			Chunks(workers, n, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i]++
+					spanOf[i] = w
+				}
+			})
+			for i, v := range out {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, v)
+				}
+			}
+			// Spans are contiguous and ordered: span ids never decrease.
+			for i := 1; i < n; i++ {
+				if spanOf[i] < spanOf[i-1] {
+					t.Fatalf("workers=%d n=%d: span ids out of order at %d", workers, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksSpanIDsDisjoint(t *testing.T) {
+	// Each span id is owned by exactly one invocation, so per-worker
+	// scratch indexed by w needs no synchronization.
+	workers := 4
+	n := 37
+	var calls atomic.Int64
+	seen := make([]atomic.Int64, workers)
+	Chunks(workers, n, func(w, lo, hi int) {
+		calls.Add(1)
+		seen[w].Add(1)
+	})
+	if calls.Load() != int64(workers) {
+		t.Fatalf("calls = %d, want %d", calls.Load(), workers)
+	}
+	for w := range seen {
+		if seen[w].Load() != 1 {
+			t.Fatalf("span %d invoked %d times", w, seen[w].Load())
+		}
+	}
+}
+
+func TestArgminDeterministicTies(t *testing.T) {
+	vals := []float64{5, 3, 9, 3, 3, 7}
+	for _, workers := range []int{1, 2, 3, 8} {
+		idx, val := Argmin(workers, len(vals), func(_, i int) float64 { return vals[i] })
+		if idx != 1 || val != 3 {
+			t.Fatalf("workers=%d: argmin = (%d, %v), want (1, 3)", workers, idx, val)
+		}
+	}
+}
+
+func TestArgminSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	vals := []float64{nan, 4, nan, 2, nan}
+	for _, workers := range []int{1, 2, 5} {
+		idx, val := Argmin(workers, len(vals), func(_, i int) float64 { return vals[i] })
+		if idx != 3 || val != 2 {
+			t.Fatalf("workers=%d: argmin = (%d, %v), want (3, 2)", workers, idx, val)
+		}
+	}
+	// All NaN → no winner.
+	if idx, _ := Argmin(2, 3, func(_, i int) float64 { return nan }); idx != -1 {
+		t.Fatalf("all-NaN argmin = %d, want -1", idx)
+	}
+	// Empty input → no winner.
+	if idx, _ := Argmin(2, 0, nil); idx != -1 {
+		t.Fatalf("empty argmin = %d, want -1", idx)
+	}
+	// All +Inf is still a winner (the lowest index), unlike NaN.
+	if idx, val := Argmin(2, 4, func(_, i int) float64 { return math.Inf(1) }); idx != 0 || !math.IsInf(val, 1) {
+		t.Fatalf("all-Inf argmin = (%d, %v), want (0, +Inf)", idx, val)
 	}
 }

@@ -1,0 +1,52 @@
+// Package profiling wires Go's pprof profilers into the repo's CLIs so
+// hot-path hunts (like the stepwise-AIC rewrite this package shipped with)
+// start from a profile instead of guesswork. Commands expose the standard
+// -cpuprofile/-memprofile flag pair and call Start once; the returned stop
+// function flushes both profiles on the way out.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile into
+// memPath; either path may be empty to skip that profile. The returned stop
+// function ends the CPU profile and writes the heap snapshot — call it
+// exactly once, after the measured work, even on error paths (defer is
+// fine). With both paths empty, Start is a no-op and stop never fails.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

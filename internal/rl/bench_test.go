@@ -1,0 +1,60 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+// benchEnv is a cheap deterministic environment so the benchmark measures
+// the learner, not the plant: one reused observation slice, no RNG.
+type benchEnv struct {
+	x   float64
+	obs []float64
+}
+
+func (e *benchEnv) Reset() []float64 {
+	e.x = 0
+	e.obs[0] = 0
+	return e.obs
+}
+
+func (e *benchEnv) Step(a float64) ([]float64, float64, bool) {
+	e.x += a / 10
+	if e.x > 5 {
+		e.x = 5
+	} else if e.x < -5 {
+		e.x = -5
+	}
+	e.obs[0] = e.x
+	return e.obs, math.Abs(e.x), false
+}
+
+func (e *benchEnv) ObservationSize() int             { return 1 }
+func (e *benchEnv) ActionBounds() (float64, float64) { return -1, 1 }
+
+// BenchmarkQLearnerTrain measures the tabular training loop — the Phase 2
+// cost center under the campaign fan-out. The packed-uint64 table key keeps
+// the per-step path allocation-free; b.ReportAllocs surfaces any
+// regression directly in the committed baselines.
+func BenchmarkQLearnerTrain(b *testing.B) {
+	env := &benchEnv{obs: make([]float64, 1)}
+	q := NewQLearner([]float64{-5}, []float64{5}, 7, -1, 1, 1)
+	q.Train(env, 4, 250) // warm the reachable table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Train(env, 4, 250)
+	}
+}
+
+// BenchmarkQLearnerGreedy isolates the key/lookup path.
+func BenchmarkQLearnerGreedy(b *testing.B) {
+	q := NewQLearner([]float64{-5, -5, -5}, []float64{5, 5, 5}, 7, -1, 1, 1)
+	obs := []float64{0.3, -1.2, 4.4}
+	q.values(q.key(obs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Greedy(obs)
+	}
+}

@@ -1,7 +1,9 @@
 package rl
 
 import (
+	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"github.com/ares-cps/ares/internal/mathx"
@@ -25,7 +27,7 @@ type QLearner struct {
 	EpsilonDecay  float64
 	EpsilonMin    float64
 	InfSurrogate  float64
-	table         map[string][]float64
+	table         map[uint64][]float64
 	rng           *rand.Rand
 	episodesSoFar int
 }
@@ -51,14 +53,30 @@ func NewQLearner(obsLo, obsHi []float64, nActions int, lo, hi float64, seed int6
 		EpsilonDecay: 0.995,
 		EpsilonMin:   0.02,
 		InfSurrogate: 100,
-		table:        make(map[string][]float64),
+		table:        make(map[uint64][]float64),
 		rng:          rand.New(rand.NewSource(seed)),
 	}
 }
 
-// key discretizes an observation into a table key.
-func (q *QLearner) key(obs []float64) string {
-	buf := make([]byte, 0, len(obs))
+// key discretizes an observation into a packed table key: each dimension's
+// bin occupies its own bit field of ceil(log2(ObsBins)) bits, so distinct
+// bin vectors always map to distinct keys for any ObsBins — the earlier
+// one-byte-per-dimension string key silently wrapped once 'a'+bin
+// overflowed a byte — and the key is a plain integer, so the hot training
+// loop allocates nothing per step. Panics when the observation cannot fit
+// in 64 bits (dimensions × bits-per-bin > 64): a silently colliding table
+// would corrupt learning, which is strictly worse than failing loudly.
+func (q *QLearner) key(obs []float64) uint64 {
+	nb := q.ObsBins
+	if nb < 1 {
+		nb = 1
+	}
+	width := uint(bits.Len(uint(nb - 1)))
+	if uint(len(obs))*width > 64 {
+		panic(fmt.Sprintf("rl: observation space too large to pack: %d dims × %d bins needs %d bits",
+			len(obs), nb, uint(len(obs))*width))
+	}
+	var k uint64
 	for i, o := range obs {
 		lo, hi := -1.0, 1.0
 		if i < len(q.ObsLo) {
@@ -71,16 +89,16 @@ func (q *QLearner) key(obs []float64) string {
 		if hi > lo {
 			frac = (mathx.Clamp(o, lo, hi) - lo) / (hi - lo)
 		}
-		bin := int(frac * float64(q.ObsBins))
-		if bin >= q.ObsBins {
-			bin = q.ObsBins - 1
+		bin := int(frac * float64(nb))
+		if bin >= nb {
+			bin = nb - 1
 		}
-		buf = append(buf, byte('a'+bin))
+		k = k<<width | uint64(bin)
 	}
-	return string(buf)
+	return k
 }
 
-func (q *QLearner) values(key string) []float64 {
+func (q *QLearner) values(key uint64) []float64 {
 	v, ok := q.table[key]
 	if !ok {
 		v = make([]float64, len(q.Actions))
@@ -116,8 +134,14 @@ func (q *QLearner) sampleIndex(obs []float64) int {
 }
 
 // Train runs episodes of ε-greedy Q-learning against the environment.
+// The per-step path (key packing, table lookup, value update) allocates
+// nothing once a state's action-value row exists; an allocation-regression
+// test pins that contract.
 func (q *QLearner) Train(env Env, episodes, maxSteps int) *TrainResult {
 	res := &TrainResult{BestReturn: math.Inf(-1), BestEpisode: -1}
+	if episodes > 0 {
+		res.Returns = make([]float64, 0, episodes)
+	}
 	for e := 0; e < episodes; e++ {
 		obs := env.Reset()
 		ret := 0.0

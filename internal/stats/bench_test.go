@@ -60,6 +60,72 @@ func BenchmarkCorrelationMatrixNaive(b *testing.B) {
 	}
 }
 
+// BenchmarkOLS measures one QR least-squares fit at stepwise-candidate
+// shape. The Gram kernel exists to take this cost out of the candidate
+// loop; this benchmark is the per-fit price it avoids.
+func BenchmarkOLS(b *testing.B) {
+	for _, c := range []struct{ k, n int }{{4, 500}, {8, 2000}} {
+		y, preds := gramProblem(7, c.k, c.n, c.k/2)
+		names := sortedPredictorNames(preds)
+		cols := make([][]float64, len(names))
+		for i, nm := range names {
+			cols[i] = preds[nm]
+		}
+		b.Run(fmt.Sprintf("k=%d/n=%d", c.k, c.n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := OLS(y, cols, names); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStepwiseAICSelection compares the retired per-candidate-QR
+// search (qr) against the Gram-kernel search (gram) at the paper's
+// regression scales. The acceptance target for this PR is gram ≥3× qr at
+// V=64, n=2000; worker variants show the deterministic parallel sweep.
+func BenchmarkStepwiseAICSelection(b *testing.B) {
+	for _, c := range []struct{ v, n int }{{16, 500}, {16, 2000}, {64, 500}, {64, 2000}} {
+		y, preds := gramProblem(int64(c.v*10000+c.n), c.v, c.n, c.v/4)
+		b.Run(fmt.Sprintf("qr/V=%d/n=%d", c.v, c.n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stepwiseAICQR(y, preds)
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("gram/V=%d/n=%d/w%d", c.v, c.n, workers), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					StepwiseAICWorkers(y, preds, workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExhaustiveAICSelection: the 2^V sweep over a small predictor
+// pool, where the O(k³)-per-candidate Gram fit dominates end-to-end cost.
+func BenchmarkExhaustiveAICSelection(b *testing.B) {
+	y, preds := gramProblem(13, 10, 500, 3)
+	b.Run("qr/V=10/n=500", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exhaustiveAICQR(y, preds)
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("gram/V=10/n=500/w%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ExhaustiveAICWorkers(y, preds, workers)
+			}
+		})
+	}
+}
+
 // BenchmarkPruneStateVars measures the assumption-check stage (difference,
 // Jarque-Bera, runs test per variable) at ESVL scale.
 func BenchmarkPruneStateVars(b *testing.B) {

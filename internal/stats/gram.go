@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+
+	"github.com/ares-cps/ares/internal/par"
+)
+
+// gramKernel is the precomputed cross-product kernel behind stepwise and
+// exhaustive AIC selection. For the augmented design Z = [1 | X₁…X_V | y]
+// it holds G = ZᵀZ, built once per selection call in O(n·V²); every
+// candidate model is then fitted from the active sub-Gram by Cholesky in
+// O(k³), independent of the sample count — the QR path refits the same
+// columns from scratch in O(n·k²) per candidate.
+//
+// The Gaussian AIC needs only the residual sum of squares, which the
+// normal equations expose without residuals: with A·b = c for
+// A = XᵀX (intercept included), c = Xᵀy, RSS = yᵀy − bᵀc. All of yᵀy,
+// A and c are sub-blocks of G indexed by the active predictor set.
+//
+// The QR OLS remains the numerical oracle: a candidate whose sub-Gram
+// fails the Cholesky conditioning test is refitted by QR (which either
+// resolves it or rejects it as rank deficient, exactly as the pre-kernel
+// implementation did), and the final selected model is always refitted by
+// QR so coefficient standard errors and p-values are bit-identical to the
+// old path.
+type gramKernel struct {
+	g     [][]float64 // (V+2)×(V+2) Gram matrix of [1 | X | y]
+	n     int         // sample count
+	yi    int         // Z-index of the response column (= V+1)
+	bad   []bool      // per-predictor: length mismatch with y
+	names []string    // predictor names, sorted
+	cols  [][]float64 // predictor columns, aligned with names
+	y     []float64
+}
+
+// condTol is the relative Cholesky pivot threshold below which a candidate
+// is handed to the QR oracle. It is deliberately far more conservative than
+// QR's own 1e-10 column-norm cutoff because forming XᵀX squares the
+// condition number: borderline designs must be judged by QR, not by a
+// half-accurate Cholesky.
+const condTol = 1e-12
+
+// newGramKernel builds G on the shared worker pool. Rows fan out over the
+// pool and each cell is a fixed-order dot product written to its own slot
+// (both triangles from the owning row's goroutine), so G is bit-identical
+// at any worker count — the same disjoint-slot scheme as the correlation
+// kernel.
+func newGramKernel(y []float64, names []string, cols [][]float64, workers int) *gramKernel {
+	n := len(y)
+	v := len(cols)
+	k := &gramKernel{
+		n:     n,
+		yi:    v + 1,
+		bad:   make([]bool, v),
+		names: names,
+		cols:  cols,
+		y:     y,
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	z := make([][]float64, v+2)
+	z[0] = ones
+	for j, c := range cols {
+		if len(c) != n {
+			k.bad[j] = true
+			c = nil
+		}
+		z[j+1] = c
+	}
+	z[v+1] = y
+
+	k.g = make([][]float64, v+2)
+	for i := range k.g {
+		k.g[i] = make([]float64, v+2)
+	}
+	par.Do(workers, v+2, func(i int) {
+		if z[i] == nil {
+			return
+		}
+		row := k.g[i]
+		for j := i; j < v+2; j++ {
+			if z[j] == nil {
+				continue
+			}
+			d := dot(z[i], z[j])
+			row[j] = d
+			k.g[j][i] = d
+		}
+	})
+	return k
+}
+
+// gramScratch is the per-worker workspace for candidate fits: one packed
+// normal-equation matrix plus solve vectors, sized once for the largest
+// possible model so the candidate sweep allocates nothing per fit.
+type gramScratch struct {
+	a    []float64 // packed m×m working copy, factored in place
+	diag []float64 // original diagonal, for the conditioning test
+	rhs  []float64 // Xᵀy sub-vector (kept intact through the solve)
+	fwd  []float64 // forward-substitution intermediate
+	coef []float64
+}
+
+func newGramScratch(maxPredictors int) *gramScratch {
+	m := maxPredictors + 1 // + intercept
+	return &gramScratch{
+		a:    make([]float64, m*m),
+		diag: make([]float64, m),
+		rhs:  make([]float64, m),
+		fwd:  make([]float64, m),
+		coef: make([]float64, m),
+	}
+}
+
+// activeSet describes a candidate predictor subset without materializing
+// it: the current selection, optionally with one index added (add >= 0)
+// or one position omitted (omit >= 0). This is exactly the move set of a
+// stepwise sweep, expressed allocation-free.
+type activeSet struct {
+	sel  []int
+	add  int // predictor index to append, or -1
+	omit int // position in sel to drop, or -1
+}
+
+func (s activeSet) size() int {
+	k := len(s.sel)
+	if s.add >= 0 {
+		k++
+	}
+	if s.omit >= 0 {
+		k--
+	}
+	return k
+}
+
+// forEach visits the active predictor indices in model-column order (the
+// order the QR path would receive them in).
+func (s activeSet) forEach(fn func(pos, pred int)) {
+	pos := 0
+	for i, p := range s.sel {
+		if i == s.omit {
+			continue
+		}
+		fn(pos, p)
+		pos++
+	}
+	if s.add >= 0 {
+		fn(pos, s.add)
+	}
+}
+
+// fitAIC fits the candidate model by Cholesky on the active sub-Gram and
+// returns its AIC. ok=false marks a candidate the QR path would reject up
+// front (too few samples, mismatched column) — it is skipped, not retried.
+// fallback=true marks an ill-conditioned sub-Gram: the caller must consult
+// the QR oracle for this candidate.
+func (k *gramKernel) fitAIC(s activeSet, sc *gramScratch) (aic float64, ok, fallback bool) {
+	m := s.size() + 1 // + intercept
+	if k.n <= m {
+		return 0, false, false
+	}
+	badCol := false
+	s.forEach(func(_, p int) {
+		if k.bad[p] {
+			badCol = true
+		}
+	})
+	if badCol {
+		return 0, false, false
+	}
+
+	// Assemble the packed normal equations A·b = c from G. Row/col 0 is
+	// the intercept; predictor p maps to Z column p+1.
+	a, rhs := sc.a[:m*m], sc.rhs[:m]
+	a[0] = k.g[0][0]
+	rhs[0] = k.g[0][k.yi]
+	s.forEach(func(pos, p int) {
+		zi := p + 1
+		r := pos + 1
+		a[r*m] = k.g[zi][0]
+		a[r] = k.g[0][zi]
+		rhs[r] = k.g[zi][k.yi]
+		s.forEach(func(pos2, p2 int) {
+			a[r*m+pos2+1] = k.g[zi][p2+1]
+		})
+	})
+	diag := sc.diag[:m]
+	for i := 0; i < m; i++ {
+		diag[i] = a[i*m+i]
+	}
+
+	// In-place Cholesky A = L·Lᵀ (lower triangle), with a relative pivot
+	// test against the original diagonal.
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*m+j]
+			for t := 0; t < j; t++ {
+				sum -= a[i*m+t] * a[j*m+t]
+			}
+			if i == j {
+				if sum <= condTol*diag[i] {
+					return 0, true, true
+				}
+				a[i*m+i] = math.Sqrt(sum)
+			} else {
+				a[i*m+j] = sum / a[j*m+j]
+			}
+		}
+	}
+
+	// Solve L·fwd = rhs, then Lᵀ·coef = fwd.
+	fwd, coef := sc.fwd[:m], sc.coef[:m]
+	for i := 0; i < m; i++ {
+		sum := rhs[i]
+		for t := 0; t < i; t++ {
+			sum -= a[i*m+t] * fwd[t]
+		}
+		fwd[i] = sum / a[i*m+i]
+	}
+	for i := m - 1; i >= 0; i-- {
+		sum := fwd[i]
+		for t := i + 1; t < m; t++ {
+			sum -= a[t*m+i] * coef[t]
+		}
+		coef[i] = sum / a[i*m+i]
+	}
+
+	// RSS = yᵀy − bᵀ(Xᵀy).
+	rss := k.g[k.yi][k.yi]
+	for i := 0; i < m; i++ {
+		rss -= coef[i] * rhs[i]
+	}
+	_, aic = gaussianAIC(k.n, m, rss)
+	return aic, true, false
+}
+
+// oracleAIC evaluates one candidate through the QR oracle, reproducing the
+// pre-kernel behaviour exactly: rank-deficient or otherwise unfittable
+// candidates report ok=false and drop out of the search.
+func (k *gramKernel) oracleAIC(s activeSet) (float64, bool) {
+	names, cols := k.materialize(s)
+	m, err := OLS(k.y, cols, names)
+	if err != nil {
+		return 0, false
+	}
+	return m.AIC, true
+}
+
+// evalAIC is the combined candidate evaluator: the Cholesky fast path,
+// with the QR oracle behind the conditioning test.
+func (k *gramKernel) evalAIC(s activeSet, sc *gramScratch) (float64, bool) {
+	aic, ok, fallback := k.fitAIC(s, sc)
+	if fallback {
+		return k.oracleAIC(s)
+	}
+	return aic, ok
+}
+
+// materialize expands an active set into the name/column slices the QR
+// fitter expects. Only called off the hot path (oracle fallbacks and the
+// final refit of the selected model).
+func (k *gramKernel) materialize(s activeSet) ([]string, [][]float64) {
+	sz := s.size()
+	names := make([]string, 0, sz)
+	cols := make([][]float64, 0, sz)
+	s.forEach(func(_, p int) {
+		names = append(names, k.names[p])
+		cols = append(cols, k.cols[p])
+	})
+	return names, cols
+}

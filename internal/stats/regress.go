@@ -175,15 +175,7 @@ func OLS(y []float64, predictors [][]float64, names []string) (*OLSResult, error
 	if tss > 0 {
 		r2 = 1 - rss/tss
 	}
-	nf := float64(n)
-	var logLik float64
-	if rss <= 0 {
-		logLik = math.Inf(1)
-	} else {
-		logLik = -nf/2*(math.Log(2*math.Pi)+math.Log(rss/nf)) - nf/2
-	}
-	kParams := float64(cols + 1) // coefficients + error variance
-	aic := 2*kParams - 2*logLik
+	logLik, aic := gaussianAIC(n, cols, rss)
 
 	return &OLSResult{
 		Names:  append([]string{}, names...),
@@ -197,6 +189,23 @@ func OLS(y []float64, predictors [][]float64, names []string) (*OLSResult, error
 		AIC:    aic,
 		LogLik: logLik,
 	}, nil
+}
+
+// gaussianAIC returns the maximized Gaussian log-likelihood and Akaike's
+// information criterion for a linear model with `cols` estimated
+// coefficients (intercept included) and the given residual sum of squares
+// over n samples; the error variance counts as one more free parameter.
+// Shared by the QR and Gram fitting paths so the criterion cannot drift
+// between them.
+func gaussianAIC(n, cols int, rss float64) (logLik, aic float64) {
+	nf := float64(n)
+	if rss <= 0 {
+		logLik = math.Inf(1)
+	} else {
+		logLik = -nf/2*(math.Log(2*math.Pi)+math.Log(rss/nf)) - nf/2
+	}
+	kParams := float64(cols + 1) // coefficients + error variance
+	return logLik, 2*kParams - 2*logLik
 }
 
 // invertUpper inverts the upper-triangular matrix stored as r[col][row].

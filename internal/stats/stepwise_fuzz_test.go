@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzStepwiseGramVsQR drives randomized well-conditioned selection
+// problems through both the Gram-kernel path and the retired per-candidate
+// QR search and requires identical selections: same predictor set in the
+// same order, same step and fit counts, final AIC within 1e-9. CI runs
+// this for a short wall-clock budget on every push; the committed corpus
+// keeps the discovered shapes replaying as ordinary tests.
+func FuzzStepwiseGramVsQR(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(80), uint8(2))
+	f.Add(int64(2), uint8(8), uint8(200), uint8(0))
+	f.Add(int64(3), uint8(2), uint8(30), uint8(1))
+	f.Add(int64(4), uint8(7), uint8(120), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, vRaw, nRaw, signalRaw uint8) {
+		v := 2 + int(vRaw)%7 // 2..8 predictors
+		n := 40 + int(nRaw)  // 40..295 samples
+		signal := int(signalRaw) % (v + 1)
+		rng := rand.New(rand.NewSource(seed))
+		preds := make(map[string][]float64, v)
+		names := make([]string, v)
+		for i := 0; i < v; i++ {
+			xs := make([]float64, n)
+			for j := range xs {
+				xs[j] = rng.NormFloat64()
+			}
+			names[i] = string(rune('a' + i))
+			preds[names[i]] = xs
+		}
+		y := make([]float64, n)
+		for j := range y {
+			y[j] = rng.NormFloat64()
+			for s := 0; s < signal; s++ {
+				y[j] += (0.3 + float64(s)) * preds[names[s]][j]
+			}
+		}
+
+		oracle := stepwiseAICQR(y, preds)
+		for _, workers := range []int{1, 3} {
+			got := StepwiseAICWorkers(y, preds, workers)
+			if len(got.Selected) != len(oracle.Selected) {
+				t.Fatalf("w=%d: selected %v, oracle %v", workers, got.Selected, oracle.Selected)
+			}
+			for i := range oracle.Selected {
+				if got.Selected[i] != oracle.Selected[i] {
+					t.Fatalf("w=%d: selected %v, oracle %v", workers, got.Selected, oracle.Selected)
+				}
+			}
+			if got.Steps != oracle.Steps || got.ModelsFitted != oracle.ModelsFitted {
+				t.Fatalf("w=%d: steps/fitted %d/%d, oracle %d/%d",
+					workers, got.Steps, got.ModelsFitted, oracle.Steps, oracle.ModelsFitted)
+			}
+			if (got.Model == nil) != (oracle.Model == nil) {
+				t.Fatalf("w=%d: model nil mismatch", workers)
+			}
+			if got.Model != nil && math.Abs(got.Model.AIC-oracle.Model.AIC) > 1e-9 {
+				t.Fatalf("w=%d: AIC %v, oracle %v", workers, got.Model.AIC, oracle.Model.AIC)
+			}
+		}
+	})
+}

@@ -167,12 +167,20 @@ func GenerateTSVL(in TSVLInput) (*TSVLReport, error) {
 		}
 	}
 	sels := make([]*StepwiseResult, len(tasks))
+	// Split the budget between the task fan-out and each task's candidate
+	// sweep: outer × inner ≈ workers. Selection is bit-identical at any
+	// inner worker count, so the split affects wall-clock only.
+	outer := workers
+	if outer > len(tasks) {
+		outer = len(tasks)
+	}
+	inner := par.Inner(workers, outer)
 	par.Do(workers, len(tasks), func(ti int) {
 		t := tasks[ti]
 		if in.Exhaustive {
-			sels[ti] = ExhaustiveAIC(t.y, t.preds)
+			sels[ti] = ExhaustiveAICWorkers(t.y, t.preds, inner)
 		} else {
-			sels[ti] = StepwiseAIC(t.y, t.preds)
+			sels[ti] = StepwiseAICWorkers(t.y, t.preds, inner)
 		}
 	})
 	tsvlSet := make(map[string]bool)
