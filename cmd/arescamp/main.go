@@ -7,13 +7,17 @@
 //
 //	arescamp [-missions L] [-vars L] [-goals L] [-defenses L] [-trials N]
 //	         [-seed S] [-episodes N] [-steps N] [-workers N]
-//	         [-out FILE] [-csv DIR] [-q]
+//	         [-out FILE] [-csv DIR] [-q] [-metrics]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Re-running with the same -out file resumes the campaign: jobs whose keys
 // already have an ok record are skipped, so an interrupted fleet picks up
 // where it stopped. `arescamp -out run.jsonl -summary` aggregates an
-// existing artifact file without running anything.
+// existing artifact file without running anything. The exit status is
+// non-zero when any job in the sweep failed (after the partial summary is
+// printed), so CI pipelines fail loudly; -metrics dumps the shared
+// process instrument set (the same counters the aresd daemon serves at
+// /metrics) to stderr on exit.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"syscall"
 
 	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/metrics"
 	"github.com/ares-cps/ares/internal/profiling"
 )
 
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	csvDir := fs.String("csv", "", "also export the summary as CSV into this directory")
 	summaryOnly := fs.Bool("summary", false, "only aggregate the existing -out file; run nothing")
 	quiet := fs.Bool("q", false, "suppress per-job progress lines")
+	dumpMetrics := fs.Bool("metrics", false, "dump process metrics (Prometheus text) to stderr on exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +68,11 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
+	}
+	if *dumpMetrics {
+		// The same instrument set the assessment daemon serves at
+		// /metrics, dumped expvar-style for batch runs.
+		defer metrics.Default().WritePrometheus(stderr)
 	}
 	defer func() {
 		if perr := stopProf(); perr != nil && retErr == nil {
@@ -119,6 +130,15 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		if err == context.Canceled {
 			fmt.Fprintf(stderr, "campaign: interrupted — re-run with -out %s to resume\n", *out)
 			return nil
+		}
+		// A sweep with failed jobs must fail the invoking pipeline, but
+		// only after the partial summary below is printed.
+		if n := stats.Errors + stats.Panics; n > 0 {
+			defer func() {
+				if retErr == nil {
+					retErr = fmt.Errorf("%d of %d jobs failed", n, stats.Total)
+				}
+			}()
 		}
 	}
 

@@ -113,3 +113,25 @@ func TestBadFlags(t *testing.T) {
 		t.Errorf("missing artifact file: %v", err)
 	}
 }
+
+func TestFailedJobsExitNonZero(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	args := []string{
+		"-missions", "line:40", "-vars", "NO.SUCH.VAR",
+		"-trials", "1", "-episodes", "1", "-steps", "4",
+		"-workers", "1", "-out", out, "-q", "-metrics",
+	}
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("err = %v, want failed-jobs error", err)
+	}
+	// The partial summary still prints before the failure exit, and the
+	// -metrics dump lands on stderr.
+	if !strings.Contains(stdout.String(), "Campaign arescamp") {
+		t.Errorf("summary missing despite failures:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "ares_campaign_jobs_error_total") {
+		t.Errorf("-metrics dump missing:\n%s", stderr.String())
+	}
+}

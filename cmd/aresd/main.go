@@ -1,0 +1,207 @@
+// Command aresd is the networked assessment daemon: it serves the
+// internal/serve HTTP API (job queueing with backpressure, singleflight
+// dedup of identical specs, LRU result caching, SSE progress, Prometheus
+// metrics) backed by the ARES campaign executor.
+//
+// Daemon mode:
+//
+//	aresd [-addr :8080] [-store DIR] [-queue N] [-workers N]
+//	      [-parallel N] [-cache N] [-drain D]
+//
+// SIGINT/SIGTERM drains gracefully: the daemon stops accepting, finishes
+// in-flight jobs (up to -drain), persists the queue manifest, and a
+// restarted daemon with the same -store completes the remainder.
+//
+// Client mode (so CI can exercise the full loop without curl):
+//
+//	aresd -addr host:port -submit spec.json [-wait] [-timeout D]
+//
+// -submit POSTs the JSON spec ("-" reads stdin) and prints the job ID;
+// with -wait it polls the job until terminal, prints the aggregated
+// summary, and exits non-zero if the job failed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/ares-cps/ares/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "aresd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("aresd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (daemon) or daemon address/URL (client)")
+	storeDir := fs.String("store", "aresd-store", "artifact + queue-manifest directory")
+	queueDepth := fs.Int("queue", 64, "submission queue depth (backpressure beyond this)")
+	workers := fs.Int("workers", 2, "concurrent jobs")
+	parallel := fs.Int("parallel", 0, "machine-wide parallelism budget shared by running jobs (0 = all CPUs)")
+	cacheSize := fs.Int("cache", 128, "result cache entries (LRU)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	submit := fs.String("submit", "", "client mode: POST this spec file (\"-\" = stdin) to -addr")
+	wait := fs.Bool("wait", false, "with -submit: poll until the job finishes and print the summary")
+	timeout := fs.Duration("timeout", 10*time.Minute, "with -wait: give up after this long")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *submit != "" {
+		return clientSubmit(*addr, *submit, *wait, *timeout, stdout, stderr)
+	}
+	return daemon(*addr, serve.Config{
+		StoreDir:    *storeDir,
+		QueueDepth:  *queueDepth,
+		Workers:     *workers,
+		Parallelism: *parallel,
+		CacheSize:   *cacheSize,
+		Log:         stderr,
+	}, *drain, stderr)
+}
+
+func daemon(addr string, cfg serve.Config, drain time.Duration, stderr io.Writer) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "aresd: listening on %s (store %s, %d workers, queue %d)\n",
+			addr, cfg.StoreDir, cfg.Workers, cfg.QueueDepth)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stderr, "aresd: draining (up to %s)...\n", drain)
+	drainCtx, stop := context.WithTimeout(context.Background(), drain)
+	defer stop()
+	_ = httpSrv.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "aresd: queue persisted; bye")
+	return nil
+}
+
+// baseURL normalizes -addr into an http URL.
+func baseURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	return "http://" + addr
+}
+
+func clientSubmit(addr, specPath string, wait bool, timeout time.Duration, stdout, stderr io.Writer) error {
+	var data []byte
+	var err error
+	if specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(specPath)
+	}
+	if err != nil {
+		return err
+	}
+	base := baseURL(addr)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	st, err := postSpec(client, base, data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "job %s %s\n", st.ID, st.State)
+	if !wait {
+		return nil
+	}
+
+	deadline := time.Now().Add(timeout)
+	for st.State != serve.StateDone && st.State != serve.StateFailed {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %s", st.ID, st.State, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+		if st, err = getJSON[serve.JobStatus](client, base+"/v1/jobs/"+st.ID); err != nil {
+			return err
+		}
+	}
+	if st.State == serve.StateFailed {
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	res, err := getJSON[serve.Result](client, base+"/v1/results/"+st.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "job %s done\n", st.ID)
+	return res.Summary.WriteText(stdout)
+}
+
+func postSpec(client *http.Client, base string, body []byte) (serve.JobStatus, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return serve.JobStatus{}, apiError(resp)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return st, nil
+}
+
+func getJSON[T any](client *http.Client, url string) (T, error) {
+	var v T
+	resp, err := client.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, apiError(resp)
+	}
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return errors.New(resp.Status)
+}

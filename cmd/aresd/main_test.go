@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/metrics"
+	"github.com/ares-cps/ares/internal/serve"
+)
+
+// startDaemon serves an in-process daemon with a fake executor so the
+// client mode can be exercised end to end without opening a port.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		StoreDir: t.TempDir(),
+		Workers:  1,
+		Metrics:  metrics.NewRegistry(),
+		Executor: func(_ context.Context, job campaign.Job) (campaign.Metrics, error) {
+			return campaign.Metrics{Deviation: 6, Success: true}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return ts
+}
+
+func TestClientSubmitWait(t *testing.T) {
+	ts := startDaemon(t)
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{"name":"cli","seed":3,"missions":[{"kind":"line","size":40,"alt":10}],"variables":["PIDR.INTEG"],"trials":2,"episodes":1,"max_steps":4}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-addr", ts.URL, "-submit", specPath, "-wait", "-timeout", "30s"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "done") {
+		t.Errorf("output missing completion:\n%s", out)
+	}
+	if !strings.Contains(out, "Campaign cli — 2 jobs") {
+		t.Errorf("output missing summary:\n%s", out)
+	}
+
+	// A second submit of the same spec is served from the cache and still
+	// prints the summary.
+	stdout.Reset()
+	if err := run([]string{"-addr", ts.URL, "-submit", specPath, "-wait"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Campaign cli — 2 jobs") {
+		t.Errorf("cached output missing summary:\n%s", stdout.String())
+	}
+}
+
+func TestClientSubmitInvalidSpec(t *testing.T) {
+	ts := startDaemon(t)
+	specPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(specPath, []byte(`{"goals":["teleport"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-addr", ts.URL, "-submit", specPath}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "teleport") {
+		t.Fatalf("err = %v, want the daemon's validation error", err)
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	for in, want := range map[string]string{
+		":8080":                 "http://localhost:8080",
+		"10.0.0.1:9":            "http://10.0.0.1:9",
+		"http://h:1/":           "http://h:1",
+		"https://ares.internal": "https://ares.internal",
+		"localhost:8080":        "http://localhost:8080",
+	} {
+		if got := baseURL(in); got != want {
+			t.Errorf("baseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/ares-cps/ares/internal/campaign"
@@ -56,6 +58,13 @@ func run(args []string, stdout io.Writer) (retErr error) {
 			retErr = perr
 		}
 	}()
+
+	// SIGINT/SIGTERM cancel the run between experiments (and stop the
+	// parallel pool from starting new ones) — the same graceful path the
+	// assessment daemon uses, so profiles still flush on the way out.
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	suite := experiments.NewSuite(*seed, *quick)
 	if *parallel > 1 {
@@ -96,7 +105,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		// share the expensive profile/monitor setup safely; per-entry
 		// buffers keep the interleaved output readable and ordered.
 		bufs := make([]bytes.Buffer, len(registry))
-		err := campaign.ForEach(context.Background(), *parallel, len(registry), func(i int) error {
+		err := campaign.ForEach(ctx, *parallel, len(registry), func(i int) error {
 			return runOne(registry[i].ID, registry[i].Run, &bufs[i])
 		})
 		for i := range bufs {
@@ -107,6 +116,9 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		return err
 	}
 	for _, e := range registry {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := runOne(e.ID, e.Run, stdout); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -433,5 +434,29 @@ func TestExecutorRejectsUnknowns(t *testing.T) {
 		Goal:    GoalDeviation, Variable: "PIDR.INTEG",
 	}); err == nil {
 		t.Error("unknown mission accepted")
+	}
+}
+
+func TestNormalizedAppliesDefaults(t *testing.T) {
+	n := Spec{Seed: 5}.Normalized()
+	if len(n.Missions) == 0 || len(n.Variables) == 0 || len(n.Goals) == 0 ||
+		len(n.Defenses) == 0 || n.Trials != 1 || n.SuccessDeviation != 5 {
+		t.Errorf("Normalized left defaults unapplied: %+v", n)
+	}
+	// Normalizing an already-normalized spec is a fixed point, which is
+	// what content-addressed dedup in the daemon relies on.
+	if got := n.Normalized(); !reflect.DeepEqual(got, n) {
+		t.Errorf("Normalized not idempotent: %+v vs %+v", got, n)
+	}
+}
+
+func TestValidateRejectsNonPositiveMission(t *testing.T) {
+	s := Spec{Missions: []MissionSpec{{Kind: "line", Size: -4, Alt: 10}}}
+	if err := s.Validate(); err == nil {
+		t.Error("negative mission size validated")
+	}
+	s = Spec{Missions: []MissionSpec{{Kind: "square", Size: 20, Alt: 0}}}
+	if err := s.Validate(); err == nil {
+		t.Error("zero-altitude mission validated")
 	}
 }

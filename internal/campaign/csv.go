@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -8,16 +9,15 @@ import (
 
 // writeCSV writes one CSV file with a header row into dir, creating the
 // directory if needed (the same contract as the experiments exporters).
+// The file is finalized atomically (write temp + rename), so a crash
+// mid-summary leaves either the previous summary or the new one — never a
+// torn file beside an intact artifact log.
 func writeCSV(dir, name string, header []string, rows [][]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.Write(header); err != nil {
 		return err
 	}
@@ -27,5 +27,8 @@ func writeCSV(dir, name string, header []string, rows [][]string) error {
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return WriteFileAtomic(filepath.Join(dir, name), buf.Bytes(), 0o644)
 }

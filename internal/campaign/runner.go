@@ -7,7 +7,22 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ares-cps/ares/internal/metrics"
 	"github.com/ares-cps/ares/internal/par"
+)
+
+// Campaign instruments on the process-default metrics registry. The
+// assessment daemon mounts the same registry at /metrics, and batch CLIs
+// dump it at exit, so a job fleet reports identically however it is
+// driven. Registration is idempotent, so these are safe package-level
+// singletons.
+var (
+	mJobsOK      = metrics.Default().Counter("ares_campaign_jobs_ok_total", "campaign jobs finished with status ok")
+	mJobsError   = metrics.Default().Counter("ares_campaign_jobs_error_total", "campaign jobs finished with status error")
+	mJobsPanic   = metrics.Default().Counter("ares_campaign_jobs_panic_total", "campaign jobs that panicked (recovered and recorded)")
+	mJobsResumed = metrics.Default().Counter("ares_campaign_jobs_resumed_total", "campaign jobs skipped because the store already had an ok record")
+	mInflight    = metrics.Default().Gauge("ares_campaign_inflight_jobs", "campaign jobs currently executing")
+	mJobSeconds  = metrics.Default().Histogram("ares_campaign_job_seconds", "per-job wall time in seconds", nil)
 )
 
 // Executor runs one job and returns its metrics. Implementations must be
@@ -56,6 +71,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, er
 		}
 		pending = append(pending, j)
 	}
+	mJobsResumed.Add(uint64(stats.Skipped))
 
 	exec := r.Execute
 	if exec == nil {
@@ -75,7 +91,11 @@ func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, er
 	err := ForEach(ctx, workers, len(pending), func(i int) error {
 		job := pending[i]
 		job.Parallelism = inner
+		mInflight.Inc()
+		jobStart := time.Now()
 		rec := runJob(ctx, exec, job)
+		mJobSeconds.Observe(time.Since(jobStart).Seconds())
+		mInflight.Dec()
 		if err := store.Append(rec); err != nil {
 			return err
 		}
@@ -83,10 +103,13 @@ func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, er
 		switch rec.Status {
 		case StatusOK:
 			stats.OK++
+			mJobsOK.Inc()
 		case StatusPanic:
 			stats.Panics++
+			mJobsPanic.Inc()
 		default:
 			stats.Errors++
+			mJobsError.Inc()
 		}
 		line := fmt.Sprintf("[%d/%d] %s: %s", stats.Executed()+stats.Skipped,
 			stats.Total, job.Key, rec.Status)

@@ -54,11 +54,11 @@ const (
 // MissionSpec declares one mission axis value.
 type MissionSpec struct {
 	// Kind is "square" or "line".
-	Kind string
+	Kind string `json:"kind"`
 	// Size is the side length (square) or leg length (line) in meters.
-	Size float64
+	Size float64 `json:"size"`
 	// Alt is the altitude in meters.
-	Alt float64
+	Alt float64 `json:"alt"`
 }
 
 // Name returns the stable identifier used in job keys, e.g. "line60x10".
@@ -105,32 +105,44 @@ func ParseMission(s string) (MissionSpec, error) {
 }
 
 // Spec declares a campaign: the sweep axes plus shared training budgets.
-// Expand turns it into the explicit job list.
+// Expand turns it into the explicit job list. The JSON form is the wire
+// format of the assessment daemon's POST /v1/jobs endpoint.
 type Spec struct {
-	// Name labels the campaign in summaries.
-	Name string
+	// Name labels the campaign in summaries. It is a display label only:
+	// two specs differing only in Name run identical jobs, so the daemon
+	// excludes it from spec identity (dedup and result caching).
+	Name string `json:"name,omitempty"`
 	// Seed is the campaign base seed every job seed derives from.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Missions, Variables, Goals, Defenses and Trials are the sweep axes;
 	// the job list is their cross product.
-	Missions  []MissionSpec
-	Variables []string
-	Goals     []string
-	Defenses  []string
+	Missions  []MissionSpec `json:"missions,omitempty"`
+	Variables []string      `json:"variables,omitempty"`
+	Goals     []string      `json:"goals,omitempty"`
+	Defenses  []string      `json:"defenses,omitempty"`
 	// Trials is the number of seeds per axis cell (default 1).
-	Trials int
+	Trials int `json:"trials,omitempty"`
 	// Episodes and MaxSteps bound each job's RL training (defaults follow
 	// core.ExploitConfig).
-	Episodes int
-	MaxSteps int
+	Episodes int `json:"episodes,omitempty"`
+	MaxSteps int `json:"max_steps,omitempty"`
 	// Learner selects the RL algorithm ("reinforce" default).
-	Learner string
+	Learner string `json:"learner,omitempty"`
 	// MaxAction bounds the per-action manipulation; 0 uses per-goal
 	// defaults (0.1 deviation, 0.6 crash).
-	MaxAction float64
+	MaxAction float64 `json:"max_action,omitempty"`
 	// SuccessDeviation is the peak path deviation (meters) that counts a
 	// deviation job as a successful attack (default 5).
-	SuccessDeviation float64
+	SuccessDeviation float64 `json:"success_deviation,omitempty"`
+}
+
+// Normalized returns the spec with the axis and threshold defaults
+// applied, so a spec that spells out the defaults and one that omits them
+// share one normalized form. The daemon hashes the normalized spec (minus
+// Name) for dedup and caching.
+func (s Spec) Normalized() Spec {
+	s.applyDefaults()
+	return s
 }
 
 func (s *Spec) applyDefaults() {
@@ -160,6 +172,9 @@ func (s Spec) Validate() error {
 	for _, m := range s.Missions {
 		if _, err := m.Build(); err != nil {
 			return err
+		}
+		if m.Size <= 0 || m.Alt <= 0 {
+			return fmt.Errorf("campaign: mission %q needs positive size and alt", m.Name())
 		}
 	}
 	for _, g := range s.Goals {

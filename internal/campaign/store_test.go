@@ -155,3 +155,33 @@ func TestReadRecordsCorruptMiddleStillErrors(t *testing.T) {
 		t.Fatal("OpenStore accepted corrupt middle line")
 	}
 }
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.csv")
+	if err := WriteFileAtomic(path, []byte("first\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second\n" {
+		t.Errorf("content = %q, want %q", got, "second\n")
+	}
+	// No temp files may survive a successful finalization.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("leftover files after atomic write: %v", names)
+	}
+}

@@ -149,6 +149,50 @@ func Chunks(workers, n int, fn func(w, lo, hi int)) {
 	})
 }
 
+// Budget divides a fixed machine-wide concurrency budget among a varying
+// set of concurrent consumers. Inner handles the static case (a pool of
+// known width W); Budget handles the dynamic one — a daemon whose number
+// of simultaneously running jobs varies between 0 and W — by recomputing
+// the fair share at every Acquire. A job that runs alone gets the whole
+// budget; jobs that start while others run get budget/active, never below
+// 1. Shares are not rebalanced mid-job: a consumer keeps the width it
+// acquired until it releases.
+type Budget struct {
+	mu     sync.Mutex
+	total  int
+	active int
+}
+
+// NewBudget returns a budget of `total` workers; total <= 0 uses the
+// process budget (GOMAXPROCS).
+func NewBudget(total int) *Budget {
+	return &Budget{total: Workers(total)}
+}
+
+// Total returns the full budget width.
+func (b *Budget) Total() int { return b.total }
+
+// Acquire registers one consumer and returns its fair share of the budget
+// plus a release func. release is idempotent and must be called when the
+// consumer's work ends.
+func (b *Budget) Acquire() (share int, release func()) {
+	b.mu.Lock()
+	b.active++
+	share = b.total / b.active
+	b.mu.Unlock()
+	if share < 1 {
+		share = 1
+	}
+	var once sync.Once
+	return share, func() {
+		once.Do(func() {
+			b.mu.Lock()
+			b.active--
+			b.mu.Unlock()
+		})
+	}
+}
+
 // Argmin evaluates score(w, i) for i ∈ [0, n) across contiguous spans (w is
 // the Chunks span id, usable as a scratch index) and returns the index and
 // value of the smallest score. Ties and NaNs resolve deterministically: the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -187,5 +188,62 @@ func TestArgminSkipsNaN(t *testing.T) {
 	// All +Inf is still a winner (the lowest index), unlike NaN.
 	if idx, val := Argmin(2, 4, func(_, i int) float64 { return math.Inf(1) }); idx != 0 || !math.IsInf(val, 1) {
 		t.Fatalf("all-Inf argmin = (%d, %v), want (0, +Inf)", idx, val)
+	}
+}
+
+func TestBudgetFairShare(t *testing.T) {
+	b := NewBudget(8)
+	if b.Total() != 8 {
+		t.Fatalf("total = %d, want 8", b.Total())
+	}
+	s1, r1 := b.Acquire()
+	if s1 != 8 {
+		t.Errorf("sole consumer share = %d, want 8", s1)
+	}
+	s2, r2 := b.Acquire()
+	if s2 != 4 {
+		t.Errorf("second consumer share = %d, want 4", s2)
+	}
+	s3, r3 := b.Acquire()
+	if s3 != 2 {
+		t.Errorf("third consumer share = %d, want 2", s3)
+	}
+	r2()
+	r2() // release is idempotent
+	r3()
+	s4, r4 := b.Acquire()
+	if s4 != 4 {
+		t.Errorf("share after releases = %d, want 4 (2 active)", s4)
+	}
+	r1()
+	r4()
+	// More consumers than budget still get at least one worker each.
+	b2 := NewBudget(2)
+	for i := 0; i < 5; i++ {
+		s, _ := b2.Acquire()
+		if s < 1 {
+			t.Fatalf("consumer %d share = %d, want >= 1", i, s)
+		}
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			share, release := b.Acquire()
+			defer release()
+			if share < 1 || share > 4 {
+				t.Errorf("share = %d, want in [1, 4]", share)
+			}
+		}()
+	}
+	wg.Wait()
+	// All released: the next consumer gets the full budget back.
+	if s, _ := b.Acquire(); s != 4 {
+		t.Errorf("share after all released = %d, want 4", s)
 	}
 }

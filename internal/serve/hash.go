@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ares-cps/ares/internal/campaign"
+)
+
+// SpecHash returns the canonical identity of a campaign spec: the SHA-256
+// of the JSON encoding of the normalized spec with the display-only Name
+// cleared. Two submissions that expand to the same job list (defaults
+// spelled out or omitted, any field order or whitespace in the request
+// body) hash equal, which is what singleflight dedup and the result cache
+// key on. The hex form doubles as the job and result ID.
+func SpecHash(spec campaign.Spec) string {
+	n := spec.Normalized()
+	n.Name = ""
+	// encoding/json renders struct fields in declaration order with no
+	// optional whitespace, so the encoding is canonical for a fixed Spec
+	// type. Marshal of Spec cannot fail (no funcs, channels or cycles).
+	b, err := json.Marshal(n)
+	if err != nil {
+		panic(fmt.Sprintf("serve: marshal normalized spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// maxSpecBytes bounds a POST /v1/jobs body; a spec enumerating thousands
+// of axis values fits comfortably in 1 MiB.
+const maxSpecBytes = 1 << 20
+
+// decodeSpec strictly parses one JSON spec from r: unknown fields and
+// trailing non-whitespace are errors, so a typoed axis name cannot
+// silently submit the default campaign.
+func decodeSpec(r io.Reader) (campaign.Spec, error) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return campaign.Spec{}, err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return campaign.Spec{}, fmt.Errorf("trailing data after spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return campaign.Spec{}, err
+	}
+	return spec, nil
+}
+
+// decodeSpecBytes is decodeSpec over a byte slice.
+func decodeSpecBytes(b []byte) (campaign.Spec, error) {
+	return decodeSpec(bytes.NewReader(b))
+}

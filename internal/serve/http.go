@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs             submit a campaign.Spec (JSON); 202 accepted,
+//	                          202 deduped onto an in-flight twin, 200 when
+//	                          already done, 429 + Retry-After when the
+//	                          queue is full, 503 while draining
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/events per-job progress as Server-Sent Events
+//	GET  /v1/results/{id}     aggregated report of a finished job
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness + queue depth
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	st, code := s.submit(spec)
+	switch code {
+	case http.StatusTooManyRequests:
+		// Retry after roughly one queued job's head start; clients in CI
+		// poll, humans re-run.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, code, "queue full (%d deep)", s.cfg.QueueDepth)
+	case http.StatusServiceUnavailable:
+		writeErr(w, code, "draining: not accepting new jobs")
+	default:
+		writeJSON(w, code, st)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.status(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, code := s.result(id)
+	switch code {
+	case http.StatusOK:
+		writeJSON(w, code, res)
+	case http.StatusConflict:
+		writeErr(w, code, "job %s has not finished", id)
+	default:
+		writeErr(w, code, "unknown result")
+	}
+}
+
+// handleEvents streams the job's progress as SSE: one `progress` event
+// per recorded line (history replayed first), then a terminal `done`
+// event carrying the final state. The stream also ends when the client
+// disconnects or the daemon drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	log, ok := s.eventsOf(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for i := 0; ; i++ {
+		line, ok, final, done := log.next(r.Context(), i)
+		if ok {
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", line)
+			fl.Flush()
+			continue
+		}
+		if done && final != "" {
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", final)
+			fl.Flush()
+		}
+		return
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	jobs := len(s.jobs)
+	depth := len(s.queue)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          !draining,
+		"draining":    draining,
+		"jobs":        jobs,
+		"queue_depth": depth,
+	})
+}
