@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run() and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFixturesExitNonZero(t *testing.T) {
+	for _, dir := range []string{
+		"internal/lint/testdata/src/ctxflow",
+		"internal/lint/testdata/src/detrand/...",
+		"internal/lint/testdata/src/errclose",
+		"internal/lint/testdata/src/metricname",
+		"internal/lint/testdata/src/parbudget",
+		"internal/lint/testdata/src/seedarith",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, dir)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+			}
+			if !strings.Contains(stderr, "finding(s)") {
+				t.Errorf("stderr missing summary line: %q", stderr)
+			}
+		})
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "internal/mathx")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run must print nothing, got %q", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "internal/lint/testdata/src/parbudget")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 || diags[0].Check != "parbudget" || diags[0].Line == 0 {
+		t.Fatalf("unexpected JSON findings: %+v", diags)
+	}
+}
+
+func TestChecksSubset(t *testing.T) {
+	// The detrand fixture trips only detrand; running just seedarith
+	// over it must come back clean.
+	code, stdout, stderr := runCLI(t, "-checks", "seedarith", "internal/lint/testdata/src/detrand/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+func TestUnknownCheckExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, "-checks", "nosuch", "internal/mathx")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown check") {
+		t.Errorf("stderr = %q, want unknown-check error", stderr)
+	}
+}
+
+func TestNoPatternsExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxflow", "detrand", "errclose", "metricname", "parbudget", "seedarith"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}

@@ -59,9 +59,10 @@ func main() {
 // line, tracking the current package from the interleaved "pkg:" headers.
 func parse(r io.Reader) (*Baseline, error) {
 	base := &Baseline{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		//areslint:ignore parbudget recording environment metadata, not sizing a pool
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Results:    []Result{},
 	}

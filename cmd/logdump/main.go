@@ -55,12 +55,18 @@ func run(args []string) error {
 	}
 }
 
-func recordFlight(path string, seconds float64, seed int64) error {
+func recordFlight(path string, seconds float64, seed int64) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The log is worthless if the final flush fails, so a close error on
+	// this write path must surface; earlier errors win over the close's.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	w := dataflash.NewWriter(f)
 
 	sensorCfg := sensors.DefaultConfig()

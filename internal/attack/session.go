@@ -109,7 +109,7 @@ func CalibrateMonitorsFor(mission *firmware.Mission, vehicle sim.VehicleParams, 
 	var dt float64
 	for m := int64(0); m < 3; m++ {
 		sensorCfg := sensors.DefaultConfig()
-		sensorCfg.Seed = seed + m
+		sensorCfg.Seed = seed + m //areslint:ignore seedarith golden-pinned
 		fw, err := firmware.New(firmware.Config{Sensors: sensorCfg, Vehicle: vehicle})
 		if err != nil {
 			return nil, nil, err

@@ -12,13 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
-
-	"github.com/ares-cps/ares/internal/experiments"
 )
-
-// The campaign summary must stay drop-in compatible with the experiments
-// reporting pipeline.
-var _ experiments.Result = (*Summary)(nil)
 
 func testSpec() Spec {
 	return Spec{

@@ -1,0 +1,14 @@
+package campaign_test
+
+// This assertion lives in an external test package: experiments now
+// imports campaign (for WriteFileAtomic), so an in-package test importing
+// experiments would be an import cycle.
+
+import (
+	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/experiments"
+)
+
+// The campaign summary must stay drop-in compatible with the experiments
+// reporting pipeline.
+var _ experiments.Result = (*campaign.Summary)(nil)

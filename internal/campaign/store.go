@@ -81,7 +81,7 @@ func OpenStore(path string) (*Store, error) {
 		return nil, err
 	}
 	fail := func(err error) (*Store, error) {
-		f.Close()
+		_ = f.Close() // best-effort: the open/repair error is the one to surface
 		return nil, err
 	}
 	if info, err := f.Stat(); err != nil {
@@ -171,11 +171,11 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // best-effort: the write error is the one to surface
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // best-effort: the sync error is the one to surface
 		return err
 	}
 	if err := tmp.Close(); err != nil {

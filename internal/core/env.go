@@ -82,13 +82,13 @@ type baseEnv struct {
 // disarming the vehicle, and resetting it back into its initial position"
 // realized as a clean re-launch).
 func (b *baseEnv) reset() error {
-	fw, err := attack.NewFirmware(b.cfg.Seed + int64(b.episode))
+	fw, err := attack.NewFirmware(b.cfg.Seed + int64(b.episode)) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return err
 	}
 	if b.world != nil {
 		// Rebuild with the obstacle world.
-		fw, err = newFirmwareWithWorld(b.cfg.Seed+int64(b.episode), b.world)
+		fw, err = newFirmwareWithWorld(b.cfg.Seed+int64(b.episode), b.world) //areslint:ignore seedarith golden-pinned
 		if err != nil {
 			return err
 		}

@@ -93,7 +93,7 @@ func CollectProfile(cfg ProfileConfig) (*Profile, error) {
 	}
 
 	for m := 0; m < cfg.Missions; m++ {
-		fw, err := attack.NewFirmware(cfg.Seed + int64(m))
+		fw, err := attack.NewFirmware(cfg.Seed + int64(m)) //areslint:ignore seedarith golden-pinned
 		if err != nil {
 			return nil, err
 		}

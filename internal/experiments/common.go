@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/ares-cps/ares/internal/attack"
+	"github.com/ares-cps/ares/internal/campaign"
 	"github.com/ares-cps/ares/internal/core"
 	"github.com/ares-cps/ares/internal/defense"
 	"github.com/ares-cps/ares/internal/firmware"
@@ -107,7 +109,7 @@ func (s *Suite) Monitors() (*defense.ControlInvariants, *defense.MLMonitor, erro
 	if s.ci != nil {
 		return s.ci, s.ml, nil
 	}
-	ci, ml, err := attack.CalibrateMonitors(s.attackMission(), s.Seed+50)
+	ci, ml, err := attack.CalibrateMonitors(s.attackMission(), s.Seed+50) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return nil, nil, err
 	}
@@ -126,17 +128,13 @@ type Result interface {
 	WriteCSV(dir string) error
 }
 
-// writeCSVFile writes one CSV file with a header row.
+// writeCSVFile writes one CSV file with a header row. The CSV is built
+// in memory and finalized with campaign.WriteFileAtomic, so a failed
+// export can never leave a torn file behind and close errors cannot be
+// silently dropped.
 func writeCSVFile(dir, name string, header []string, rows [][]float64) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.Write(header); err != nil {
 		return err
 	}
@@ -153,20 +151,17 @@ func writeCSVFile(dir, name string, header []string, rows [][]float64) error {
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return finalizeCSV(dir, name, buf.Bytes())
 }
 
-// writeCSVStrings writes a CSV with free-form string cells.
+// writeCSVStrings writes a CSV with free-form string cells, atomically
+// like writeCSVFile.
 func writeCSVStrings(dir, name string, header []string, rows [][]string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.Write(header); err != nil {
 		return err
 	}
@@ -176,5 +171,16 @@ func writeCSVStrings(dir, name string, header []string, rows [][]string) error {
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return finalizeCSV(dir, name, buf.Bytes())
+}
+
+// finalizeCSV lands rendered CSV bytes in dir via write-temp + rename.
+func finalizeCSV(dir, name string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return campaign.WriteFileAtomic(filepath.Join(dir, name), data, 0o644)
 }

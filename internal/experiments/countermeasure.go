@@ -38,7 +38,7 @@ func RunCountermeasure(s *Suite) (*CountermeasureResult, error) {
 	watched := countermeasureVars()
 
 	// Collect a 400 Hz benign trace of exactly the watched variables.
-	fw, err := attack.NewFirmware(s.Seed + 70)
+	fw, err := attack.NewFirmware(s.Seed + 70) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return nil, err
 	}
@@ -87,19 +87,19 @@ func RunCountermeasure(s *Suite) (*CountermeasureResult, error) {
 			Strategy: strategy, AttackStart: 10,
 		})
 	}
-	if res.Benign, err = run(nil, s.Seed+71); err != nil {
+	if res.Benign, err = run(nil, s.Seed+71); err != nil { //areslint:ignore seedarith golden-pinned
 		return nil, err
 	}
 	if res.Ramp, err = run(&attack.RampAttack{
 		Region: firmware.RegionStabilizer, Variable: "CMD.Roll",
 		Rate: 0.0436, Cap: 0.4,
-	}, s.Seed+72); err != nil {
+	}, s.Seed+72); err != nil { //areslint:ignore seedarith golden-pinned
 		return nil, err
 	}
 	if res.Naive, err = run(&attack.NaiveAttack{
 		Region: firmware.RegionStabilizer, Variable: "PIDR.INTEG",
 		Value: 0.25,
-	}, s.Seed+73); err != nil {
+	}, s.Seed+73); err != nil { //areslint:ignore seedarith golden-pinned
 		return nil, err
 	}
 	return res, nil

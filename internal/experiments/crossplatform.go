@@ -48,14 +48,14 @@ func RunCrossPlatform(s *Suite) (*CrossPlatformResult, error) {
 	}
 	res := &CrossPlatformResult{}
 	for vi, v := range vehicles {
-		ci, _, err := attack.CalibrateMonitorsFor(mission, v.params, s.Seed+int64(80+vi*10))
+		ci, _, err := attack.CalibrateMonitorsFor(mission, v.params, s.Seed+int64(80+vi*10)) //areslint:ignore seedarith golden-pinned
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
 		row := CrossPlatformRow{Vehicle: v.name}
 
 		benign, err := attack.RunSession(attack.SessionConfig{
-			Mission: mission, Duration: 60, Seed: s.Seed + int64(81+vi*10),
+			Mission: mission, Duration: 60, Seed: s.Seed + int64(81+vi*10), //areslint:ignore seedarith golden-pinned
 			CI: ci, Vehicle: v.params,
 		})
 		if err != nil {
@@ -65,7 +65,7 @@ func RunCrossPlatform(s *Suite) (*CrossPlatformResult, error) {
 		row.BenignMaxCI = benign.MaxCI
 
 		ramp, err := attack.RunSession(attack.SessionConfig{
-			Mission: mission, Duration: 60, Seed: s.Seed + int64(82+vi*10),
+			Mission: mission, Duration: 60, Seed: s.Seed + int64(82+vi*10), //areslint:ignore seedarith golden-pinned
 			CI: ci, Vehicle: v.params,
 			Strategy: &attack.RampAttack{
 				Region: firmware.RegionStabilizer, Variable: "CMD.Roll",
@@ -80,7 +80,7 @@ func RunCrossPlatform(s *Suite) (*CrossPlatformResult, error) {
 		row.RampDev = ramp.MaxPathDev
 
 		naive, err := attack.RunSession(attack.SessionConfig{
-			Mission: mission, Duration: 60, Seed: s.Seed + int64(83+vi*10),
+			Mission: mission, Duration: 60, Seed: s.Seed + int64(83+vi*10), //areslint:ignore seedarith golden-pinned
 			CI: ci, Vehicle: v.params,
 			Strategy: &attack.NaiveAttack{
 				Region: firmware.RegionStabilizer, Variable: "PIDR.INTEG",

@@ -88,7 +88,7 @@ func RunFig10(s *Suite) (*Fig10Result, error) {
 	res := &Fig10Result{Episodes: episodes}
 
 	// Trained agent.
-	env, err := fig10Env(s.Seed+500, nil)
+	env, err := fig10Env(s.Seed+500, nil) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return nil, err
 	}
@@ -121,14 +121,14 @@ func RunFig10(s *Suite) (*Fig10Result, error) {
 		PerTick:   true,
 		MaxAction: 0.6,
 		Mission:   firmware.LineMission(60, 10),
-		Seed:      s.Seed + 550,
+		Seed:      s.Seed + 550, //areslint:ignore seedarith golden-pinned
 		Detector:  ci,
 	})
 	if err != nil {
 		return nil, err
 	}
 	loD, hiD := envD.ActionBounds()
-	agentD := rl.NewReinforce(envD.ObservationSize(), loD, hiD, s.Seed+1)
+	agentD := rl.NewReinforce(envD.ObservationSize(), loD, hiD, s.Seed+1) //areslint:ignore seedarith golden-pinned
 	trainD := agentD.Train(envD, episodes, steps)
 	withDet := evalDeviation(envD, agentD.Policy.Mean, steps)
 	withDet.Name = "RL+detector"
@@ -138,11 +138,11 @@ func RunFig10(s *Suite) (*Fig10Result, error) {
 	res.Scenarios = append(res.Scenarios, withDet)
 
 	// Random-policy baseline.
-	envR, err := fig10Env(s.Seed+600, nil)
+	envR, err := fig10Env(s.Seed+600, nil) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(s.Seed + 9))
+	rng := rand.New(rand.NewSource(s.Seed + 9)) //areslint:ignore seedarith golden-pinned
 	random := evalDeviation(envR, func([]float64) float64 {
 		return lo + rng.Float64()*(hi-lo)
 	}, steps)
@@ -150,7 +150,7 @@ func RunFig10(s *Suite) (*Fig10Result, error) {
 	res.Scenarios = append(res.Scenarios, random)
 
 	// Benign baseline (no manipulation).
-	envB, err := fig10Env(s.Seed+700, nil)
+	envB, err := fig10Env(s.Seed+700, nil) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return nil, err
 	}

@@ -36,20 +36,20 @@ func hoverMission() *firmware.Mission {
 // monitor.
 func RunFig7(s *Suite) (*Fig7Result, error) {
 	mission := hoverMission()
-	_, ml, err := attack.CalibrateMonitors(mission, s.Seed+60)
+	_, ml, err := attack.CalibrateMonitors(mission, s.Seed+60) //areslint:ignore seedarith golden-pinned
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig7Result{Threshold: ml.Threshold, AttackStart: 12}
 
 	if res.Benign, err = attack.RunSession(attack.SessionConfig{
-		Mission: mission, Duration: 35, Seed: s.Seed + 4, ML: ml,
+		Mission: mission, Duration: 35, Seed: s.Seed + 4, ML: ml, //areslint:ignore seedarith golden-pinned
 	}); err != nil {
 		return nil, err
 	}
 	// ARES: gradually drift the PID scaler ratio.
 	if res.ARES, err = attack.RunSession(attack.SessionConfig{
-		Mission: mission, Duration: 35, Seed: s.Seed + 5, ML: ml,
+		Mission: mission, Duration: 35, Seed: s.Seed + 5, ML: ml, //areslint:ignore seedarith golden-pinned
 		Strategy: &attack.GradualAttack{
 			Region:   firmware.RegionStabilizer,
 			Variable: "PIDR.SCALER",
@@ -64,7 +64,7 @@ func RunFig7(s *Suite) (*Fig7Result, error) {
 	// Naive: force the integrator to its clamp, snapping the roll and
 	// making the output inconsistent with the controller inputs.
 	if res.Naive, err = attack.RunSession(attack.SessionConfig{
-		Mission: mission, Duration: 35, Seed: s.Seed + 6, ML: ml,
+		Mission: mission, Duration: 35, Seed: s.Seed + 6, ML: ml, //areslint:ignore seedarith golden-pinned
 		Strategy: &attack.NaiveAttack{
 			Region:   firmware.RegionStabilizer,
 			Variable: "PIDR.INTEG",
@@ -164,7 +164,7 @@ func RunFig8(s *Suite) (*Fig8Result, error) {
 	session, err := attack.RunSession(attack.SessionConfig{
 		Mission:     mission,
 		Duration:    60,
-		Seed:        s.Seed + 7,
+		Seed:        s.Seed + 7, //areslint:ignore seedarith golden-pinned
 		EKF:         defense.NewEKFResidual(),
 		Strategy:    strategy,
 		AttackStart: res.AttackStart,

@@ -60,7 +60,7 @@ func RunFig9(s *Suite) (*Fig9Result, error) {
 		return maxes, nil
 	}
 
-	if res.BenignMax, err = runTrials(nil, s.Seed+100); err != nil {
+	if res.BenignMax, err = runTrials(nil, s.Seed+100); err != nil { //areslint:ignore seedarith golden-pinned
 		return nil, err
 	}
 	// Attack 1: twice the headline ramp rate with a deeper cap (the
@@ -70,7 +70,7 @@ func RunFig9(s *Suite) (*Fig9Result, error) {
 			Region: firmware.RegionStabilizer, Variable: "CMD.Roll",
 			Rate: 0.0872, Cap: 0.5,
 		}
-	}, s.Seed+200); err != nil {
+	}, s.Seed+200); err != nil { //areslint:ignore seedarith golden-pinned
 		return nil, err
 	}
 	// Attack 2: a tenth of the headline rate with a shallow cap (the
@@ -80,7 +80,7 @@ func RunFig9(s *Suite) (*Fig9Result, error) {
 			Region: firmware.RegionStabilizer, Variable: "CMD.Roll",
 			Rate: 0.00436, Cap: 0.2,
 		}
-	}, s.Seed+300); err != nil {
+	}, s.Seed+300); err != nil { //areslint:ignore seedarith golden-pinned
 		return nil, err
 	}
 

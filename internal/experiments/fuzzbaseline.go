@@ -61,12 +61,12 @@ func RunFuzzBaseline(s *Suite) (*FuzzBaselineResult, error) {
 	res := &FuzzBaselineResult{DeviationBar: 5}
 	res.Trials = 4 * s.trials() // 40 full / 12 quick
 
-	rng := rand.New(rand.NewSource(s.Seed + 4000))
+	rng := rand.New(rand.NewSource(s.Seed + 4000)) //areslint:ignore seedarith golden-pinned
 	for i := 0; i < res.Trials; i++ {
 		target := fuzzTargets[rng.Intn(len(fuzzTargets))]
 		value := (rng.Float64()*2 - 1) * target.scale
 		sess, err := attack.RunSession(attack.SessionConfig{
-			Mission: mission, Duration: 45, Seed: s.Seed + 4100 + int64(i),
+			Mission: mission, Duration: 45, Seed: s.Seed + 4100 + int64(i), //areslint:ignore seedarith golden-pinned
 			CI: ci,
 			Strategy: &attack.NaiveAttack{
 				Region:   firmware.RegionStabilizer,
@@ -93,7 +93,7 @@ func RunFuzzBaseline(s *Suite) (*FuzzBaselineResult, error) {
 
 	// The ARES time-dependent sequence on the same budget class.
 	ares, err := attack.RunSession(attack.SessionConfig{
-		Mission: mission, Duration: 45, Seed: s.Seed + 4999, CI: ci,
+		Mission: mission, Duration: 45, Seed: s.Seed + 4999, CI: ci, //areslint:ignore seedarith golden-pinned
 		Strategy: &attack.RampAttack{
 			Region: firmware.RegionStabilizer, Variable: "CMD.Roll",
 			Rate: 0.0436, Cap: 0.4,

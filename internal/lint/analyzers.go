@@ -1,0 +1,32 @@
+package lint
+
+// All returns the repository's analyzer catalog in stable (alphabetical)
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		DetRand,
+		ErrClose,
+		MetricName,
+		ParBudget,
+		SeedArith,
+	}
+}
+
+// ByName returns the subset of All matching the given names; unknown
+// names return nil and the offending name.
+func ByName(names []string) ([]*Analyzer, string) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, n
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

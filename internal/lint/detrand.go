@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandScope are the analysis-path packages where nondeterminism
+// silently breaks the bit-identical-at-any-worker-count contract.
+var detrandScope = []string{"internal/stats", "internal/core", "internal/rl", "internal/sim"}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// unseeded global source. Constructors (New, NewSource, NewZipf) are fine:
+// the repo's rule is seeded rand.New(rand.NewSource(...)).
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+// DetRand reports nondeterminism sources inside the deterministic
+// analysis paths (internal/stats, internal/core, internal/rl,
+// internal/sim): time.Now calls, global math/rand functions, and
+// map-range loops that feed ordered output (an append that is never
+// sorted) or accumulate floats (order-dependent rounding).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "no time.Now, unseeded global math/rand, or order-sensitive map iteration in analysis paths",
+	Run:  runDetRand,
+}
+
+func runDetRand(p *Pass) {
+	if !inDetrandScope(p.Pkg.Path) {
+		return
+	}
+	p.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := p.callee(n)
+			if isPkgObj(obj, "time", "Now") {
+				p.Reportf(n.Pos(), "time.Now() in a deterministic analysis path — inject time from the caller or derive it from the seed")
+			}
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math/rand" && globalRandFuncs[obj.Name()] && isPackageLevelFunc(obj) {
+				p.Reportf(n.Pos(), "global math/rand.%s uses unseeded process-wide state — use a seeded rand.New(rand.NewSource(...))", obj.Name())
+			}
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkMapRanges(p, n.Body)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// isPackageLevelFunc distinguishes rand.Intn (global, unseeded state)
+// from rng.Intn on a seeded *rand.Rand (a method, fine).
+func isPackageLevelFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+func inDetrandScope(path string) bool {
+	for _, seg := range detrandScope {
+		if pathHasSegment(path, seg) {
+			return true
+		}
+	}
+	switch lastSegment(path) {
+	case "stats", "core", "rl", "sim":
+		return true
+	}
+	return false
+}
+
+// checkMapRanges inspects one function body (including nested literals —
+// closures share the function's slices) for order-sensitive map
+// iteration.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	type appendTarget struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var candidates []appendTarget
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := p.Pkg.Info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch as.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				if b, ok := p.Pkg.Info.TypeOf(as.Lhs[0]).Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					p.Reportf(as.Pos(), "float accumulation inside map iteration — summation order follows random map order; iterate sorted keys")
+				}
+			case "=", ":=":
+				if len(as.Rhs) == 1 {
+					if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+						if id, ok := unparen(call.Fun).(*ast.Ident); ok && isBuiltinAppend(p, id) {
+							if root := rootIdent(as.Lhs[0]); root != nil {
+								if obj := identObject(p, root); obj != nil {
+									candidates = append(candidates, appendTarget{obj: obj, pos: as})
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	for _, c := range candidates {
+		if !sortedLater(p, body, c.obj) {
+			p.Reportf(c.pos.Pos(), "map iteration appends to %s which is never sorted in this function — output order follows random map order", c.obj.Name())
+		}
+	}
+}
+
+// isBuiltinAppend reports whether id resolves to the predeclared append
+// builtin (not a user-defined function shadowing the name).
+func isBuiltinAppend(p *Pass, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	_, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// identObject resolves an identifier whether it is a use or a definition.
+func identObject(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// sortedLater reports whether obj is handed to a sort/slices sorting call
+// anywhere in body — the collect-keys-then-sort idiom that makes a
+// map-range deterministic.
+func sortedLater(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		callee := p.callee(call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		pkg := callee.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && identObject(p, id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current analyzer output")
+
+// repoLoader builds a loader rooted at the enclosing module.
+func repoLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestFixtureGoldens pins every analyzer's diagnostics over its fixture
+// package under testdata/src. One golden file per fixture directory;
+// regenerate deliberately with:
+//
+//	go test -run TestFixtureGoldens -update ./internal/lint
+func TestFixtureGoldens(t *testing.T) {
+	ents, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := repoLoader(t)
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := loader.Load("internal/lint/testdata/src/" + name + "/...")
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run(pkgs, All(), 0)
+			if len(diags) == 0 {
+				t.Errorf("fixture %s produced no findings — every fixture must trip its analyzer", name)
+			}
+			var buf bytes.Buffer
+			if err := WriteText(&buf, diags); err != nil {
+				t.Fatal(err)
+			}
+
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d findings)", golden, len(diags))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestFixtureGoldens -update ./internal/lint` to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("diagnostics drifted from %s.\n--- got ---\n%s--- want ---\n%s", golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestSelfLint asserts the repository itself is clean: every invariant
+// the analyzers encode either holds or carries a reasoned suppression.
+// This is the test-suite twin of the CI `areslint ./...` step.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository from source")
+	}
+	loader := repoLoader(t)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, All(), 0) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the framework to the repo's own
+// contract: analysis output is bit-identical at any worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	loader := repoLoader(t)
+	pkgs, err := loader.Load("internal/lint/testdata/src/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Run(pkgs, All(), 1)
+	for _, workers := range []int{2, 8} {
+		got := Run(pkgs, All(), workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d findings, want %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Errorf("workers=%d: finding %d = %+v, want %+v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package errclose is an areslint fixture: discarded close errors on
+// write paths.
+package errclose
+
+import "os"
+
+// Bad: the deferred close discards the flush error — a full disk looks
+// like success.
+func deferred(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("data")
+	return err
+}
+
+// Bad: a bare close statement discards the error too.
+func bare(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// Good: the close error surfaces; the error path acknowledges the
+// discard explicitly.
+func checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		_ = f.Close() // best-effort: the write error is the one to surface
+		return err
+	}
+	return f.Close()
+}
+
+// Good: read paths may discard close errors.
+func readPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

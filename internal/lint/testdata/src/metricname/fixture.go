@@ -1,0 +1,20 @@
+// Package metricname is an areslint fixture: metric registration naming.
+package metricname
+
+import "github.com/ares-cps/ares/internal/metrics"
+
+var reg = metrics.NewRegistry()
+
+// Good: a literal in the ares_ namespace.
+var good = reg.Counter("ares_fixture_jobs_total", "jobs")
+
+// Bad: outside the ares_ namespace.
+var badPrefix = reg.Counter("fixture_jobs_total", "jobs")
+
+// Bad: a computed name cannot be grepped or collision-checked.
+var dynamicName = "ares_fixture_dynamic_total"
+var computed = reg.Counter(dynamicName, "dynamic")
+
+// Bad: same name, different kind — the registry panics on this at
+// runtime.
+var dupKind = reg.Gauge("ares_fixture_jobs_total", "jobs level")

@@ -1,0 +1,24 @@
+// Package parbudget is an areslint fixture: raw process-budget reads
+// versus the par helpers.
+package parbudget
+
+import (
+	"runtime"
+
+	"github.com/ares-cps/ares/internal/par"
+)
+
+// Bad: raw budget reads multiply across nested pools.
+func raw() int {
+	return runtime.GOMAXPROCS(0) * 2
+}
+
+// Bad: NumCPU is the same trap.
+func cpus() int {
+	return runtime.NumCPU()
+}
+
+// Good: the par helpers resolve one machine-wide budget.
+func clamped(n int) int {
+	return par.Workers(n)
+}

@@ -1,0 +1,32 @@
+// Package seedarith is an areslint fixture: ad-hoc seed offsets versus
+// derived streams.
+package seedarith
+
+import "github.com/ares-cps/ares/internal/mathx"
+
+// Suite mirrors the experiments.Suite shape.
+type Suite struct{ Seed int64 }
+
+// Bad: offset schemes collide across base seeds (stream k of seed s is
+// stream k-1 of seed s+1).
+func (s *Suite) offsets(i int) []int64 {
+	a := s.Seed + 9
+	b := s.Seed - 1
+	c := s.Seed + 4000 + int64(i)
+	return []int64{a, b, c}
+}
+
+// Bad: bare seed identifiers count too.
+func shifted(seed int64) int64 {
+	return seed + 100
+}
+
+// Good: derived streams cannot collide.
+func (s *Suite) derived(stream int64) int64 {
+	return mathx.DeriveSeed(s.Seed, stream)
+}
+
+// Suppressed: pre-existing offsets pinned by golden reports.
+func (s *Suite) pinned() int64 {
+	return s.Seed + 50 //areslint:ignore seedarith golden-pinned
+}

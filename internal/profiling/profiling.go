@@ -25,7 +25,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close() // best-effort: the start error is the one to surface
 			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
 		}
 	}
@@ -41,10 +41,13 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			if err != nil {
 				return fmt.Errorf("profiling: create mem profile: %w", err)
 			}
-			defer f.Close()
 			runtime.GC() // settle the heap so the snapshot shows live data
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close() // best-effort: the write error is the one to surface
 				return fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: close mem profile: %w", err)
 			}
 		}
 		return nil
