@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	arescamp [-missions L] [-vars L] [-goals L] [-defenses L] [-trials N]
-//	         [-seed S] [-episodes N] [-steps N] [-workers N]
+//	arescamp [-missions L] [-vars L] [-goals L] [-attacks L] [-defenses L]
+//	         [-trials N] [-seed S] [-episodes N] [-steps N] [-workers N]
+//	         [-cpv ID[,ID...]] [-list-cpvs]
 //	         [-out FILE] [-csv DIR] [-q] [-metrics]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -18,6 +19,13 @@
 // printed), so CI pipelines fail loudly; -metrics dumps the shared
 // process instrument set (the same counters the aresd daemon serves at
 // /metrics) to stderr on exit.
+//
+// -cpv compiles the named built-in CPV catalog records into the campaign
+// instead of assembling axes by hand (the axis flags are then rejected, as
+// each record carries its own); -list-cpvs prints the catalog and exits.
+// Records produced by a catalog-compiled run carry the originating CPV ID,
+// and the -summary aggregation reports a per-CPV axis, so results stay
+// traceable back to the catalog entry.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"syscall"
 
 	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/cpv"
 	"github.com/ares-cps/ares/internal/metrics"
 	"github.com/ares-cps/ares/internal/profiling"
 )
@@ -48,7 +57,10 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	missions := fs.String("missions", "line:60", "comma-separated missions (kind:size[:alt])")
 	variables := fs.String("vars", "PIDR.INTEG,CMD.Roll", "comma-separated target state variables")
 	goals := fs.String("goals", campaign.GoalDeviation, "comma-separated goals (deviation,crash)")
-	defenses := fs.String("defenses", campaign.DefenseNone, "comma-separated defenses (none,ci)")
+	attacks := fs.String("attacks", campaign.AttackRL, "comma-separated attacks (rl,stealthy)")
+	defenses := fs.String("defenses", campaign.DefenseNone, "comma-separated defenses (none,ci,recovery)")
+	cpvIDs := fs.String("cpv", "", "compile these CPV catalog record IDs instead of the axis flags")
+	listCPVs := fs.Bool("list-cpvs", false, "print the built-in CPV catalog and exit")
 	trials := fs.Int("trials", 8, "trial seeds per axis cell")
 	seed := fs.Int64("seed", 42, "campaign base seed")
 	episodes := fs.Int("episodes", 12, "RL training episodes per job")
@@ -63,6 +75,14 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *listCPVs {
+		for _, r := range cpv.Catalog() {
+			fmt.Fprintf(stdout, "%-14s %s [%s/%s vs %s]\n",
+				r.ID, r.Name, r.AttackVector, r.Goal, strings.Join(r.Defenses, ","))
+		}
+		return nil
 	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
@@ -81,23 +101,47 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	}()
 
 	if !*summaryOnly {
-		spec := campaign.Spec{
-			Name:     "arescamp",
-			Seed:     *seed,
-			Trials:   *trials,
-			Episodes: *episodes,
-			MaxSteps: *steps,
-		}
-		for _, m := range splitList(*missions) {
-			ms, err := campaign.ParseMission(m)
+		var spec campaign.Spec
+		if *cpvIDs != "" {
+			// Catalog mode: each record carries its own axes, so the axis
+			// flags must not also be set.
+			explicit := make(map[string]bool)
+			fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+			for _, name := range []string{"missions", "vars", "goals", "attacks", "defenses"} {
+				if explicit[name] {
+					return fmt.Errorf("-%s cannot be combined with -cpv (each catalog record carries its own axes)", name)
+				}
+			}
+			spec, err = cpv.CompileIDs(cpv.Options{
+				Name:     "arescamp",
+				Seed:     *seed,
+				Trials:   *trials,
+				Episodes: *episodes,
+				MaxSteps: *steps,
+			}, splitList(*cpvIDs)...)
 			if err != nil {
 				return err
 			}
-			spec.Missions = append(spec.Missions, ms)
+		} else {
+			spec = campaign.Spec{
+				Name:     "arescamp",
+				Seed:     *seed,
+				Trials:   *trials,
+				Episodes: *episodes,
+				MaxSteps: *steps,
+			}
+			for _, m := range splitList(*missions) {
+				ms, err := campaign.ParseMission(m)
+				if err != nil {
+					return err
+				}
+				spec.Missions = append(spec.Missions, ms)
+			}
+			spec.Variables = splitList(*variables)
+			spec.Goals = splitList(*goals)
+			spec.Attacks = splitList(*attacks)
+			spec.Defenses = splitList(*defenses)
 		}
-		spec.Variables = splitList(*variables)
-		spec.Goals = splitList(*goals)
-		spec.Defenses = splitList(*defenses)
 		if err := spec.Validate(); err != nil {
 			return err
 		}

@@ -1,0 +1,138 @@
+// Command arescpv works with the declarative CPV catalog: it lists and
+// shows the built-in records, lints catalog documents, and prints the
+// campaign spec a record set compiles to — without flying anything.
+//
+// Usage:
+//
+//	arescpv -list                      print the built-in catalog
+//	arescpv -show ID                   print one record as JSON
+//	arescpv -compile ID[,ID...]        print the compiled normalized Spec
+//	         [-seed S] [-trials N] [-episodes N] [-steps N]
+//	arescpv -lint FILE                 parse + validate a catalog document
+//	                                   (JSON array of records; "-" = stdin)
+//
+// Exit status: 0 on success, 1 when lint/validation finds problems, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/ares-cps/ares/internal/cpv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arescpv", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the built-in catalog")
+	show := fs.String("show", "", "print one built-in record as JSON")
+	compile := fs.String("compile", "", "compile these record IDs and print the normalized campaign spec")
+	lint := fs.String("lint", "", "parse and validate a catalog document (JSON array; \"-\" = stdin)")
+	seed := fs.Int64("seed", 42, "campaign base seed for -compile")
+	trials := fs.Int("trials", 0, "default trials per cell for -compile (0 = campaign default)")
+	episodes := fs.Int("episodes", 0, "RL episodes per job for -compile (0 = core default)")
+	steps := fs.Int("steps", 0, "max steps per episode for -compile (0 = core default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	modes := 0
+	for _, on := range []bool{*list, *show != "", *compile != "", *lint != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(stderr, "arescpv: need exactly one of -list, -show, -compile, -lint")
+		fs.Usage()
+		return 2
+	}
+
+	switch {
+	case *list:
+		for _, r := range cpv.Catalog() {
+			fmt.Fprintf(stdout, "%-14s %s [%s/%s vs %s]\n",
+				r.ID, r.Name, r.AttackVector, r.Goal, strings.Join(r.Defenses, ","))
+		}
+		return 0
+
+	case *show != "":
+		rec, ok := cpv.Get(*show)
+		if !ok {
+			fmt.Fprintf(stderr, "arescpv: unknown record %q\n", *show)
+			return 1
+		}
+		return printJSON(stdout, stderr, rec)
+
+	case *compile != "":
+		var ids []string
+		for _, id := range strings.Split(*compile, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		spec, err := cpv.CompileIDs(cpv.Options{
+			Name:     "arescpv",
+			Seed:     *seed,
+			Trials:   *trials,
+			Episodes: *episodes,
+			MaxSteps: *steps,
+		}, ids...)
+		if err != nil {
+			fmt.Fprintln(stderr, "arescpv:", err)
+			return 1
+		}
+		return printJSON(stdout, stderr, spec)
+
+	default: // -lint
+		data, err := readDoc(*lint, stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "arescpv:", err)
+			return 2
+		}
+		recs, err := cpv.ParseRecords(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "arescpv:", err)
+			return 1
+		}
+		bad := 0
+		for _, r := range recs {
+			if err := cpv.Check(r); err != nil {
+				fmt.Fprintln(stderr, "arescpv:", err)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(stderr, "arescpv: %d of %d records failed\n", bad, len(recs))
+			return 1
+		}
+		fmt.Fprintf(stdout, "ok: %d records\n", len(recs))
+		return 0
+	}
+}
+
+func readDoc(path string, stdin io.Reader) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func printJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(stderr, "arescpv:", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/cpv"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range cpv.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing misses %s", id)
+		}
+	}
+}
+
+func TestShow(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-show", "ARES-CPV-001")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var rec cpv.Record
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("output is not a record: %v", err)
+	}
+	if rec.ID != "ARES-CPV-001" {
+		t.Errorf("showed %q", rec.ID)
+	}
+	if code, _, _ := runCLI(t, "", "-show", "NOPE"); code != 1 {
+		t.Errorf("unknown record: exit %d, want 1", code)
+	}
+}
+
+func TestCompile(t *testing.T) {
+	code, out, errOut := runCLI(t, "", "-compile", "ARES-CPV-001,ARES-CPV-003", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var spec campaign.Spec
+	if err := json.Unmarshal([]byte(out), &spec); err != nil {
+		t.Fatalf("output is not a spec: %v", err)
+	}
+	if len(spec.Sweeps) != 2 || spec.Seed != 7 {
+		t.Errorf("unexpected spec: %d sweeps, seed %d", len(spec.Sweeps), spec.Seed)
+	}
+	if code, _, _ := runCLI(t, "", "-compile", "ARES-CPV-999"); code != 1 {
+		t.Errorf("unknown id: exit %d, want 1", code)
+	}
+}
+
+func TestLint(t *testing.T) {
+	good := `[{"id":"X-1","name":"x","entry_component":"stabilizer","attack_vector":"rl","goal":"deviation","variables":["PIDR.INTEG"]}]`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.json")
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, errOut := runCLI(t, "", "-lint", path); code != 0 || !strings.Contains(out, "ok: 1") {
+		t.Errorf("good doc: exit %d out %q err %q", code, out, errOut)
+	}
+	// Stdin, with a semantic failure (unknown variable).
+	bad := `[{"id":"X-1","name":"x","entry_component":"stabilizer","attack_vector":"rl","goal":"deviation","variables":["NOPE.X"]}]`
+	if code, _, errOut := runCLI(t, bad, "-lint", "-"); code != 1 || !strings.Contains(errOut, "unknown state variable") {
+		t.Errorf("bad doc: exit %d err %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "", "-lint", filepath.Join(dir, "missing.json")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "-list", "-show", "X"); code != 2 {
+		t.Errorf("two modes: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, ""); code != 2 {
+		t.Errorf("no mode: exit %d, want 2", code)
+	}
+}

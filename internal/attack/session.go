@@ -43,6 +43,10 @@ type SessionResult struct {
 	MaxCI, MaxML, MaxEKF, MaxVar float64
 	// AlarmedVariable names the cell that tripped the variable monitor.
 	AlarmedVariable string
+	// Recovered reports that the recovery guard engaged; RecoveredAt is
+	// the flight time of the engagement (meaningful only when Recovered).
+	Recovered   bool
+	RecoveredAt float64
 	// MaxPathDev is the peak deviation from the mission path.
 	MaxPathDev float64
 	// FinalPathDev is the deviation at the end of the session.
@@ -78,6 +82,11 @@ type SessionConfig struct {
 	// VarMon is the variable-level countermeasure; it watches the live
 	// values of its trained variable set every tick.
 	VarMon *defense.VariableMonitor
+	// Recovery is the SpecGuard-style recovery defense: its detector runs
+	// in the loop and, from the first alarm on, the guard's conservative
+	// recovery controller clamps the attitude commands and bleeds the
+	// integrators every tick.
+	Recovery *defense.RecoveryGuard
 	// World adds obstacles/forbidden zones to the environment.
 	World *sim.World
 	// Vehicle selects the airframe; zero value flies the IRIS+.
@@ -178,6 +187,12 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	if cfg.VarMon != nil {
 		cfg.VarMon.Reset()
 	}
+	if cfg.Recovery != nil {
+		if err := cfg.Recovery.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Recovery.Reset()
+	}
 
 	if err := fw.Takeoff(altitudeOf(cfg.Mission)); err != nil {
 		return nil, err
@@ -211,13 +226,25 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	attackBegun := false
 	start := fw.Time()
 
+	var recRefs defense.RecoveryRefs
+	if cfg.Recovery != nil {
+		if recRefs, err = RecoveryRefsOf(fw); err != nil {
+			return nil, err
+		}
+	}
+
 	// The strategy fires from the mid-pipeline hook: after the navigator
 	// writes the attitude command, before the stabilizer consumes it —
-	// the timing an attacker with code in the stabilizer region has.
+	// the timing an attacker with code in the stabilizer region has. The
+	// recovery clamp runs after the strategy from the same hook: the
+	// legitimate firmware gets the last word on what the stabilizer sees.
 	var hookNow float64
 	fw.SetAttackHook(func() {
 		if attackBegun && cfg.Strategy != nil {
 			cfg.Strategy.Apply(fw, hookNow)
+		}
+		if cfg.Recovery != nil {
+			cfg.Recovery.Apply(recRefs)
 		}
 	})
 	defer fw.SetAttackHook(nil)
@@ -239,6 +266,13 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 		var ciV, mlV, ekfV defense.Verdict
 		if cfg.CI != nil {
 			ciV = cfg.CI.Observe(ciObs.Sample(fw))
+		}
+		if cfg.Recovery != nil {
+			// The guard's detector verdict reports through the CI channel
+			// (it *is* a control-invariants detector, plus a response).
+			if v := cfg.Recovery.Observe(ciObs.Sample(fw), now); v.Stat > ciV.Stat || v.Alarm {
+				ciV = v
+			}
 		}
 		if cfg.ML != nil {
 			mlV = cfg.ML.Observe(MLSampleOf(fw))
@@ -295,6 +329,10 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 			break
 		}
 	}
+	if cfg.Recovery != nil && cfg.Recovery.Engaged() {
+		res.Recovered = true
+		res.RecoveredAt = cfg.Recovery.EngagedAt()
+	}
 	res.MissionComplete = fw.Mission().Complete()
 	return res, nil
 }
@@ -325,6 +363,29 @@ func updateDetection(res *SessionResult, now float64, ci, ml, ekf defense.Verdic
 	if alarm && res.FirstAlarmT < 0 {
 		res.FirstAlarmT = now
 	}
+}
+
+// RecoveryRefsOf resolves the canonical recovery-actuation cells of the
+// SpecGuard-style guard against a running firmware: the attitude-command
+// handoff cells it clamps and the rate-PID integrators it bleeds. The
+// defense package stays firmware-agnostic; this is the wiring layer.
+func RecoveryRefsOf(fw *firmware.Firmware) (defense.RecoveryRefs, error) {
+	var refs defense.RecoveryRefs
+	for _, name := range []string{"CMD.Roll", "CMD.Pitch"} {
+		ref, ok := fw.Vars().Lookup(name)
+		if !ok {
+			return defense.RecoveryRefs{}, fmt.Errorf("attack: recovery cell %q not registered", name)
+		}
+		refs.Commands = append(refs.Commands, ref)
+	}
+	for _, name := range []string{"PIDR.INTEG", "PIDP.INTEG"} {
+		ref, ok := fw.Vars().Lookup(name)
+		if !ok {
+			return defense.RecoveryRefs{}, fmt.Errorf("attack: recovery cell %q not registered", name)
+		}
+		refs.Integrators = append(refs.Integrators, ref)
+	}
+	return refs, nil
 }
 
 // CIObserver extracts the control-invariants observation. Following Choi

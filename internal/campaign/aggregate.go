@@ -9,8 +9,8 @@ import (
 // AxisCell is one row of a per-axis summary: all records sharing one value
 // of one sweep axis.
 type AxisCell struct {
-	// Axis is "mission", "variable", "goal" or "defense"; Value is the
-	// axis value the cell aggregates.
+	// Axis is "mission", "variable", "goal", "attack", "defense" or
+	// "cpv"; Value is the axis value the cell aggregates.
 	Axis, Value string
 	// Jobs counts deduplicated records; OK those with ok status.
 	Jobs, OK int
@@ -59,7 +59,18 @@ func Aggregate(name string, recs []Record) *Summary {
 		{"mission", func(r Record) string { return r.Mission }},
 		{"variable", func(r Record) string { return r.Variable }},
 		{"goal", func(r Record) string { return r.Goal }},
+		// Records written before the attack axis existed carry no attack
+		// field; they ran the RL exploit.
+		{"attack", func(r Record) string {
+			if r.Attack == "" {
+				return AttackRL
+			}
+			return r.Attack
+		}},
 		{"defense", func(r Record) string { return r.Defense }},
+		// CPV groups catalog-compiled records by their originating record
+		// ID; hand-written sweeps have none and are skipped for this axis.
+		{"cpv", func(r Record) string { return r.CPV }},
 	}
 	for _, r := range byKey {
 		if r.Status != StatusOK {
@@ -72,6 +83,9 @@ func Aggregate(name string, recs []Record) *Summary {
 		for _, k := range keys {
 			r := byKey[k]
 			v := axis.of(r)
+			if v == "" {
+				continue
+			}
 			c, ok := cells[v]
 			if !ok {
 				c = &AxisCell{Axis: axis.name, Value: v}

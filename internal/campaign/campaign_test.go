@@ -70,7 +70,7 @@ func TestSpecExpand(t *testing.T) {
 		}
 		seeds[j.Seed] = j.Key
 	}
-	if k := jobs[0].Key; k != "line40x10/PIDR.INTEG/deviation/none/t000" {
+	if k := jobs[0].Key; k != "line40x10/PIDR.INTEG/deviation/rl/none/t000" {
 		t.Errorf("unexpected first key %q", k)
 	}
 }

@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseMissionRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"line:NaN", "line:Inf", "line:-Inf", "line:60:NaN", "square:+Inf:10"} {
+		if _, err := ParseMission(bad); err == nil {
+			t.Errorf("ParseMission(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateRejectsNonFiniteMission(t *testing.T) {
+	s := Spec{Missions: []MissionSpec{{Kind: "line", Size: math.NaN(), Alt: 10}}}
+	if err := s.Validate(); err == nil {
+		t.Error("NaN mission size validated")
+	}
+	s = Spec{Missions: []MissionSpec{{Kind: "line", Size: 40, Alt: math.Inf(1)}}}
+	if err := s.Validate(); err == nil {
+		t.Error("infinite mission altitude validated")
+	}
+}
+
+func TestValidateAttackAxis(t *testing.T) {
+	s := testSpec()
+	s.Attacks = []string{"warp"}
+	if err := s.Validate(); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	// A stealthy schedule cannot steer the vehicle into a zone.
+	s = testSpec()
+	s.Attacks = []string{AttackStealthy}
+	s.Goals = []string{GoalCrash}
+	if err := s.Validate(); err == nil {
+		t.Error("stealthy crash cell accepted")
+	}
+	s = testSpec()
+	s.Attacks = []string{AttackRL, AttackStealthy}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid attack axis rejected: %v", err)
+	}
+}
+
+func TestSweepValidateAndExpand(t *testing.T) {
+	sweeps := Spec{
+		Seed:   3,
+		Trials: 1,
+		Sweeps: []Sweep{
+			{CPV: "CPV-A", Variables: []string{"CMD.Roll"}, Attacks: []string{AttackStealthy}},
+			{CPV: "CPV-B", Variables: []string{"PIDR.INTEG"}, Defenses: []string{DefenseRecovery}},
+		},
+	}
+	if err := sweeps.Validate(); err != nil {
+		t.Fatalf("valid sweep spec rejected: %v", err)
+	}
+
+	bad := sweeps
+	bad.Goals = []string{GoalDeviation} // top-level axes and sweeps are exclusive
+	if err := bad.Validate(); err == nil {
+		t.Error("sweeps alongside top-level axes accepted")
+	}
+	bad = sweeps
+	bad.Sweeps = []Sweep{{CPV: "a/b", Variables: []string{"CMD.Roll"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("cpv id with '/' accepted")
+	}
+	bad = sweeps
+	bad.Sweeps = []Sweep{{Attacks: []string{AttackStealthy}, Goals: []string{GoalCrash}, Variables: []string{"CMD.Roll"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("stealthy crash sweep accepted")
+	}
+
+	jobs := sweeps.Expand()
+	if len(jobs) != 2 {
+		t.Fatalf("expanded %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].CPV != "CPV-A" || !strings.HasPrefix(jobs[0].Key, "CPV-A/") {
+		t.Errorf("job 0 not tagged: cpv=%q key=%q", jobs[0].CPV, jobs[0].Key)
+	}
+	if jobs[0].Attack != AttackStealthy || jobs[1].Defense != DefenseRecovery {
+		t.Errorf("sweep axes not honored: %+v / %+v", jobs[0], jobs[1])
+	}
+
+	// Overlapping sweeps dedupe on the job key.
+	dup := Spec{Seed: 3, Trials: 1, Sweeps: []Sweep{
+		{Variables: []string{"CMD.Roll"}},
+		{Variables: []string{"CMD.Roll"}},
+	}}
+	if jobs := dup.Expand(); len(jobs) != 1 {
+		t.Errorf("duplicate sweep cells expanded to %d jobs, want 1", len(jobs))
+	}
+}
+
+// TestCPVAxesDeterminism extends the reproducibility contract to the two
+// new axis values: stealthy-injection and recovery-defense cells through
+// the real executor must write byte-identical sorted records at 1, 2 and
+// 8 workers.
+func TestCPVAxesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-executor determinism test skipped in -short")
+	}
+	spec := Spec{
+		Name: "cpv-axes",
+		Seed: 11,
+		Sweeps: []Sweep{
+			{
+				CPV:       "T-STEALTHY",
+				Missions:  []MissionSpec{{Kind: "line", Size: 40, Alt: 10}},
+				Variables: []string{"CMD.Roll"},
+				Attacks:   []string{AttackStealthy},
+				Defenses:  []string{DefenseNone, DefenseCI},
+			},
+			{
+				CPV:       "T-RECOVERY",
+				Missions:  []MissionSpec{{Kind: "line", Size: 40, Alt: 10}},
+				Variables: []string{"PIDR.INTEG"},
+				Attacks:   []string{AttackRL},
+				Defenses:  []string{DefenseRecovery},
+			},
+		},
+		Trials:   2,
+		Episodes: 2,
+		MaxSteps: 6,
+	}
+
+	run := func(workers int) []string {
+		st, path := openTempStore(t)
+		r := &Runner{Workers: workers}
+		stats, err := r.Run(context.Background(), spec, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.OK != stats.Total {
+			t.Fatalf("workers=%d: %+v (want all ok)", workers, stats)
+		}
+		st.Close()
+		return sortedLines(t, path)
+	}
+
+	base := run(1)
+	var sawStealthy, sawRecovery bool
+	for _, line := range base {
+		if strings.Contains(line, "/stealthy/") {
+			sawStealthy = true
+		}
+		if strings.Contains(line, "/recovery/") {
+			sawRecovery = true
+		}
+	}
+	if !sawStealthy || !sawRecovery {
+		t.Fatalf("baseline missing new axis cells (stealthy=%v recovery=%v)", sawStealthy, sawRecovery)
+	}
+
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d record %d differs:\n  1 worker: %s\n  %d workers: %s",
+					workers, i, base[i], workers, got[i])
+			}
+		}
+	}
+}

@@ -71,6 +71,9 @@ func (e *aresExecutor) run(ctx context.Context, job Job) (Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return Metrics{}, err
 	}
+	if job.Attack == AttackStealthy {
+		return e.runStealthy(job)
+	}
 	mission, err := job.Mission.Build()
 	if err != nil {
 		return Metrics{}, err
@@ -86,12 +89,19 @@ func (e *aresExecutor) run(ctx context.Context, job Job) (Metrics, error) {
 		// (integrators) hold a one-shot injection.
 		PerTick: strings.HasPrefix(job.Variable, "CMD."),
 	}
-	if job.Defense == DefenseCI {
+	switch job.Defense {
+	case DefenseCI:
 		det, err := e.monitor(job)
 		if err != nil {
 			return Metrics{}, err
 		}
 		envCfg.Detector = det
+	case DefenseRecovery:
+		det, err := e.monitor(job)
+		if err != nil {
+			return Metrics{}, err
+		}
+		envCfg.Recovery = defense.NewRecoveryGuard(det)
 	}
 	cfg := core.ExploitConfig{
 		Env:      envCfg,
@@ -126,6 +136,66 @@ func (e *aresExecutor) run(ctx context.Context, job Job) (Metrics, error) {
 	}
 }
 
+// runStealthy executes one stealthy-injection cell. The attack is a fixed
+// magnitude schedule, not a trained policy, so the cell is a single
+// instrumented session flight instead of an RL training run: the attacker's
+// shadow monitor is a clone of the same per-mission calibrated CI monitor
+// the defense deploys (the standard white-box assumption), and the deployed
+// defense — if any — runs independently.
+func (e *aresExecutor) runStealthy(job Job) (Metrics, error) {
+	mission, err := job.Mission.Build()
+	if err != nil {
+		return Metrics{}, err
+	}
+	shadow, err := e.monitor(job)
+	if err != nil {
+		return Metrics{}, err
+	}
+	maxSteps := job.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100
+	}
+	cfg := attack.SessionConfig{
+		Mission: mission,
+		Strategy: &attack.StealthyAttack{
+			Variable: job.Variable,
+			Shadow:   shadow,
+			Cap:      job.MaxAction, // 0 keeps the strategy default
+		},
+		AttackStart: 2,
+		// One RL action interval is 0.3 s; the session flies the same
+		// wall-clock budget the RL evaluation rollout would get.
+		Duration: float64(maxSteps) * 0.3,
+		Seed:     mathx.DeriveSeed(job.Seed, streamJobEnv),
+	}
+	switch job.Defense {
+	case DefenseCI:
+		det, err := e.monitor(job)
+		if err != nil {
+			return Metrics{}, err
+		}
+		cfg.CI = det
+	case DefenseRecovery:
+		det, err := e.monitor(job)
+		if err != nil {
+			return Metrics{}, err
+		}
+		cfg.Recovery = defense.NewRecoveryGuard(det)
+	}
+	res, err := attack.RunSession(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		Deviation: res.MaxPathDev,
+		Detected:  res.Detected(),
+		Crashed:   res.Crashed,
+		Recovered: res.Recovered,
+	}
+	m.Success = (res.MaxPathDev >= job.SuccessDeviation || res.Crashed) && !res.Detected()
+	return m, nil
+}
+
 // metricsOf folds an exploit result into the campaign metrics, applying
 // the success criterion: a *stealthy* failure — the goal condition met
 // without tripping the in-loop detector.
@@ -136,6 +206,7 @@ func metricsOf(job Job, res *core.ExploitResult) Metrics {
 		Detected:    res.EvalDetected,
 		Crashed:     res.EvalCrashed,
 		GoalReached: res.EvalGoalReached,
+		Recovered:   res.EvalRecovered,
 	}
 	if res.Train != nil {
 		m.BestReturn = res.Train.BestReturn

@@ -132,8 +132,10 @@ func runJob(ctx context.Context, exec Executor, job Job) (rec Record) {
 		Mission:  job.Mission.Name(),
 		Variable: job.Variable,
 		Goal:     job.Goal,
+		Attack:   job.Attack,
 		Defense:  job.Defense,
 		Trial:    job.Trial,
+		CPV:      job.CPV,
 		Seed:     job.Seed,
 	}
 	defer func() {

@@ -28,19 +28,26 @@ type Metrics struct {
 	Crashed bool `json:"crashed"`
 	// GoalReached reports forbidden-zone contact (crash goal only).
 	GoalReached bool `json:"goal_reached"`
+	// Recovered reports that the recovery guard engaged during evaluation
+	// (recovery defense only).
+	Recovered bool `json:"recovered,omitempty"`
 	// Success applies the campaign's success criterion: an undetected
 	// deviation beyond the threshold, or undetected zone contact.
 	Success bool `json:"success"`
 }
 
-// Record is one JSON line of the artifact store.
+// Record is one JSON line of the artifact store. Attack and CPV are
+// omitempty so stores written before those axes existed round-trip
+// unchanged; an empty Attack on a loaded record means the implicit "rl".
 type Record struct {
 	Key      string   `json:"key"`
 	Mission  string   `json:"mission"`
 	Variable string   `json:"variable"`
 	Goal     string   `json:"goal"`
+	Attack   string   `json:"attack,omitempty"`
 	Defense  string   `json:"defense"`
 	Trial    int      `json:"trial"`
+	CPV      string   `json:"cpv,omitempty"`
 	Seed     int64    `json:"seed"`
 	Status   string   `json:"status"` // "ok", "error" or "panic"
 	Error    string   `json:"error,omitempty"`

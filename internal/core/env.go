@@ -29,6 +29,17 @@ type EnvConfig struct {
 	// Detector, when non-nil, runs in the loop and ends the episode with
 	// the −∞ penalty on alarm (the Section V-C reward shaping).
 	Detector *defense.ControlInvariants
+	// Recovery, when non-nil, runs the SpecGuard-style recovery defense in
+	// the loop: its detector observes every tick and, once engaged, the
+	// conservative recovery controller clamps the attitude commands and
+	// bleeds the integrators. Unlike Detector, an alarm does NOT terminate
+	// the episode — the defender's response is recovery, not abort — so
+	// the evaluation measures the *physical* outcome the attack achieves
+	// against an actively recovering vehicle. The detection itself is
+	// still recorded (Alarmed/EvalDetected), so the campaign success
+	// criterion — an undetected failure — already counts a recovered
+	// flight as a defended one.
+	Recovery *defense.RecoveryGuard
 	// Seed drives per-episode variation.
 	Seed int64
 	// SetupSeconds is the pre-mission flight time (takeoff + settle).
@@ -67,6 +78,7 @@ type baseEnv struct {
 	fw      *firmware.Firmware
 	ref     vars.Ref
 	ciObs   *attack.CIObserver
+	recRefs defense.RecoveryRefs
 	episode int
 	ticks   int
 	alarmed bool
@@ -116,10 +128,18 @@ func (b *baseEnv) reset() error {
 	}
 	b.ref = ref
 	b.pendDelta, b.pendOnce = 0, false
+	if b.cfg.Recovery != nil {
+		b.cfg.Recovery.Reset()
+		if b.recRefs, err = attack.RecoveryRefsOf(fw); err != nil {
+			return err
+		}
+	}
 	// The injection fires from the firmware's mid-pipeline hook, after
 	// the navigator writes its commands and before the stabilizer
 	// consumes them — so both stateful cells (INTEG) and per-cycle
-	// rewritten cells (CMD.*) are manipulable.
+	// rewritten cells (CMD.*) are manipulable. The recovery clamp runs
+	// after the injection so the legitimate defense gets the last word on
+	// the handoff cells, exactly as in the attack-session path.
 	fw.SetAttackHook(func() {
 		switch {
 		case b.cfg.PerTick:
@@ -128,10 +148,15 @@ func (b *baseEnv) reset() error {
 			b.ref.Add(b.pendDelta)
 			b.pendOnce = false
 		}
+		if b.cfg.Recovery != nil {
+			b.cfg.Recovery.Apply(b.recRefs)
+		}
 	})
+	if b.cfg.Detector != nil || b.cfg.Recovery != nil {
+		b.ciObs = attack.NewCIObserver(fw)
+	}
 	if b.cfg.Detector != nil {
 		b.cfg.Detector.Reset()
-		b.ciObs = attack.NewCIObserver(fw)
 	}
 	b.ticks = int(b.cfg.ActionInterval / fw.DT())
 	if b.ticks < 1 {
@@ -152,11 +177,28 @@ func (b *baseEnv) advance(action float64) bool {
 				b.alarmed = true
 			}
 		}
+		if b.cfg.Recovery != nil {
+			// The guard's detection is recorded but deliberately not fed
+			// back to the reward: recovery responds physically instead of
+			// aborting, so the episode continues and the evaluation
+			// measures what the attack achieves against the clamps.
+			if v := b.cfg.Recovery.Observe(b.ciObs.Sample(b.fw), b.fw.Time()); v.Alarm {
+				b.alarmed = true
+			}
+		}
 		if crashed, _ := b.fw.Quad().Crashed(); crashed {
 			break
 		}
 	}
+	if b.cfg.Recovery != nil {
+		return false
+	}
 	return b.alarmed
+}
+
+// recovered reports whether the recovery guard engaged this episode.
+func (b *baseEnv) recovered() bool {
+	return b.cfg.Recovery != nil && b.cfg.Recovery.Engaged()
 }
 
 func newFirmwareWithWorld(seed int64, world *sim.World) (*firmware.Firmware, error) {

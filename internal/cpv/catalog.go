@@ -1,0 +1,144 @@
+package cpv
+
+import "sort"
+
+// builtin is the shipped catalog: the repo's attack/defense matrix (the
+// paper's case studies) expressed as declarative records, including the
+// two extended axis values (stealthy injection, recovery defense). IDs are
+// stable identifiers — compiled job keys, stores and golden files pin
+// them — so entries may be appended but never renumbered.
+var builtin = []Record{
+	{
+		ID:                 "ARES-CPV-001",
+		Name:               "Rate-integrator pumping (uncontrolled failure)",
+		Description:        "An attacker in the stabilizer region injects offsets into the roll-rate PID integrator; the stateful cell holds the injected charge, feeding a standing actuator bias that pushes the vehicle off its mission path (Case Study I).",
+		RequiredComponents: []string{"stabilizer", "actuators"},
+		EntryComponent:     "stabilizer",
+		ExitComponent:      "actuators",
+		InitialConditions:  map[string]string{"flight_mode": "AUTO", "mission": "straight line"},
+		AttackVector:       "rl",
+		Goal:               "deviation",
+		Variables:          []string{"PIDR.INTEG"},
+		Missions:           []string{"line:60"},
+		Defenses:           []string{"none", "ci"},
+		References: []string{
+			"ARES §VI Case Study I",
+			"Choi et al., Detecting Attacks Against Robotic Vehicles (CCS'18)",
+		},
+	},
+	{
+		ID:                 "ARES-CPV-002",
+		Name:               "Attitude-command hijack into forbidden zone (controlled failure)",
+		Description:        "The per-cycle-rewritten roll command handoff cell is biased every tick, steering the vehicle into a forbidden zone beside the final mission leg while the firmware believes it is tracking its own targets (Case Study II).",
+		RequiredComponents: []string{"stabilizer", "navigator"},
+		EntryComponent:     "stabilizer",
+		ExitComponent:      "actuators",
+		InitialConditions:  map[string]string{"flight_mode": "AUTO", "forbidden_zone": "10 m beside final leg"},
+		AttackVector:       "rl",
+		Goal:               "crash",
+		Variables:          []string{"CMD.Roll"},
+		Missions:           []string{"line:60"},
+		Defenses:           []string{"none", "ci"},
+		MaxAction:          0.6,
+		References: []string{
+			"ARES §VI Case Study II",
+		},
+	},
+	{
+		ID:                 "ARES-CPV-003",
+		Name:               "Stealthy roll-command offset under the CI threshold",
+		Description:        "A shadow replica of the control-invariants monitor schedules the injected roll-command offset so the detection statistic never crosses a fraction of the alarm threshold: strictly less physical effect per unit time than the unthrottled ramp, but undetected for the whole flight.",
+		RequiredComponents: []string{"stabilizer"},
+		EntryComponent:     "stabilizer",
+		ExitComponent:      "actuators",
+		InitialConditions:  map[string]string{"flight_mode": "AUTO", "attacker_knowledge": "white-box monitor replica"},
+		AttackVector:       "stealthy",
+		Goal:               "deviation",
+		Variables:          []string{"CMD.Roll"},
+		Missions:           []string{"line:60"},
+		Defenses:           []string{"none", "ci"},
+		References: []string{
+			"Dash et al., Stealthy Attacks against Robotic Vehicles (Requiem for a Drone)",
+		},
+	},
+	{
+		ID:                 "ARES-CPV-004",
+		Name:               "Integrator pumping against the recovery guard",
+		Description:        "Re-assesses the Case Study I integrator attack with the SpecGuard-style recovery defense deployed: on the first control-invariants alarm the guard clamps the attitude commands and bleeds the integrators for the rest of the flight, bounding the physical effect instead of only flagging it.",
+		RequiredComponents: []string{"stabilizer", "actuators"},
+		EntryComponent:     "stabilizer",
+		ExitComponent:      "actuators",
+		InitialConditions:  map[string]string{"flight_mode": "AUTO", "defense": "recovery engaged on first alarm"},
+		AttackVector:       "rl",
+		Goal:               "deviation",
+		Variables:          []string{"PIDR.INTEG"},
+		Missions:           []string{"line:60"},
+		Defenses:           []string{"recovery"},
+		References: []string{
+			"Dash et al., SpecGuard: Specification Aware Recovery for Robotic Autonomous Vehicles (CCS'24)",
+		},
+	},
+	{
+		ID:                 "ARES-CPV-005",
+		Name:               "Stealthy offset against the recovery guard",
+		Description:        "Pits the two extended axis values against each other: the magnitude-scheduled stealthy injection stays under the detection threshold, so the recovery guard — which engages only on an alarm — should never actuate; the cell measures whether stealth buys enough physical effect to matter.",
+		RequiredComponents: []string{"stabilizer"},
+		EntryComponent:     "stabilizer",
+		ExitComponent:      "actuators",
+		InitialConditions:  map[string]string{"flight_mode": "AUTO", "attacker_knowledge": "white-box monitor replica"},
+		AttackVector:       "stealthy",
+		Goal:               "deviation",
+		Variables:          []string{"CMD.Roll"},
+		Missions:           []string{"line:60"},
+		Defenses:           []string{"recovery"},
+		References: []string{
+			"Dash et al., Requiem for a Drone",
+			"Dash et al., SpecGuard (CCS'24)",
+		},
+	},
+	{
+		ID:                 "ARES-CPV-006",
+		Name:               "Pitch-command bias on the square mission",
+		Description:        "Demonstrates axis transfer: the same per-tick command-bias class as ARES-CPV-002 applied to the pitch channel on a square mission, assessed as an uncontrolled-failure deviation.",
+		RequiredComponents: []string{"stabilizer"},
+		EntryComponent:     "stabilizer",
+		ExitComponent:      "actuators",
+		InitialConditions:  map[string]string{"flight_mode": "AUTO", "mission": "square patrol"},
+		AttackVector:       "rl",
+		Goal:               "deviation",
+		Variables:          []string{"CMD.Pitch"},
+		Missions:           []string{"square:25"},
+		Defenses:           []string{"none"},
+		References: []string{
+			"ARES §VI",
+		},
+	},
+}
+
+// Catalog returns the built-in records sorted by ID (a fresh copy —
+// callers may mutate their slice).
+func Catalog() []Record {
+	out := append([]Record(nil), builtin...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the sorted built-in record IDs.
+func IDs() []string {
+	recs := Catalog()
+	ids := make([]string, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Get looks up one built-in record by ID.
+func Get(id string) (Record, bool) {
+	for _, r := range builtin {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Record{}, false
+}

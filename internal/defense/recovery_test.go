@@ -1,0 +1,127 @@
+package defense
+
+import (
+	"testing"
+
+	"github.com/ares-cps/ares/internal/vars"
+)
+
+func fittedGuard(t *testing.T, seed int64) *RecoveryGuard {
+	t.Helper()
+	ci := NewControlInvariants()
+	if err := ci.Identify(benignCITrace(4000, seed)); err != nil {
+		t.Fatal(err)
+	}
+	return NewRecoveryGuard(ci)
+}
+
+// engage drives the guard's detector over threshold with a grossly
+// divergent attitude trace.
+func engage(t *testing.T, g *RecoveryGuard) {
+	t.Helper()
+	for i := 0; i < 20000; i++ {
+		if v := g.Observe(CISample{Roll: 1}, float64(i)*0.01); v.Alarm {
+			return
+		}
+	}
+	t.Fatal("guard never engaged on divergent trace")
+}
+
+func TestRecoveryGuardEngagesOnFirstAlarm(t *testing.T) {
+	g := fittedGuard(t, 31)
+	if !g.Fitted() {
+		t.Fatal("guard with identified detector reports unfitted")
+	}
+	for i, s := range benignCITrace(500, 32) {
+		if v := g.Observe(s, float64(i)*0.0025); v.Alarm {
+			t.Fatalf("benign sample %d raised alarm", i)
+		}
+	}
+	if g.Engaged() {
+		t.Fatal("guard engaged on benign trace")
+	}
+	engage(t, g)
+	if !g.Engaged() || g.EngagedAt() <= 0 {
+		t.Fatalf("engaged=%v at=%v after alarm", g.Engaged(), g.EngagedAt())
+	}
+	// Engagement is latched: later quiet samples do not lift it.
+	at := g.EngagedAt()
+	g.Observe(CISample{}, 100)
+	if !g.Engaged() || g.EngagedAt() != at {
+		t.Error("engagement did not latch")
+	}
+}
+
+func TestRecoveryGuardApply(t *testing.T) {
+	g := fittedGuard(t, 33)
+	roll, pitch, integ := 0.5, -0.5, 1.0
+	refs := RecoveryRefs{
+		Commands: []vars.Ref{
+			{Name: "CMD.Roll", Ptr: &roll},
+			{Name: "CMD.Pitch", Ptr: &pitch},
+		},
+		Integrators: []vars.Ref{{Name: "PIDR.INTEG", Ptr: &integ}},
+	}
+
+	g.Apply(refs)
+	if roll != 0.5 || pitch != -0.5 || integ != 1.0 {
+		t.Fatalf("disengaged guard actuated: roll=%v pitch=%v integ=%v", roll, pitch, integ)
+	}
+
+	engage(t, g)
+	g.Apply(refs)
+	if roll != g.ClampAngle || pitch != -g.ClampAngle {
+		t.Errorf("commands not clamped to ±%v: roll=%v pitch=%v", g.ClampAngle, roll, pitch)
+	}
+	if integ != g.IntegratorDecay {
+		t.Errorf("integrator not bled: %v, want %v", integ, g.IntegratorDecay)
+	}
+	// In-envelope commands pass through untouched.
+	roll = 0.05
+	g.Apply(refs)
+	if roll != 0.05 {
+		t.Errorf("in-envelope command rewritten to %v", roll)
+	}
+}
+
+func TestRecoveryGuardCloneAndReset(t *testing.T) {
+	g := fittedGuard(t, 34)
+	engage(t, g)
+
+	c := g.Clone()
+	if c.Engaged() {
+		t.Error("clone inherited engagement")
+	}
+	if !c.Fitted() {
+		t.Error("clone lost the identified model")
+	}
+	if c.ClampAngle != g.ClampAngle || c.IntegratorDecay != g.IntegratorDecay {
+		t.Error("clone lost the envelope configuration")
+	}
+	engage(t, c) // clone's runtime state is independent but detects the same
+
+	g.Reset()
+	if g.Engaged() || g.EngagedAt() != 0 {
+		t.Error("reset did not clear engagement")
+	}
+	engage(t, g) // and the guard re-arms after reset
+}
+
+func TestRecoveryGuardValidate(t *testing.T) {
+	if err := fittedGuard(t, 35).Validate(); err != nil {
+		t.Errorf("valid guard rejected: %v", err)
+	}
+	if err := (&RecoveryGuard{ClampAngle: 0.1, IntegratorDecay: 0.9}).Validate(); err == nil {
+		t.Error("detector-less guard validated")
+	}
+	g := fittedGuard(t, 36)
+	g.ClampAngle = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero clamp angle validated")
+	}
+	g = fittedGuard(t, 37)
+	g.IntegratorDecay = 1
+	if err := g.Validate(); err == nil {
+		t.Error("non-contractive integrator decay validated")
+	}
+}

@@ -18,3 +18,14 @@ var computed = reg.Counter(dynamicName, "dynamic")
 // Bad: same name, different kind — the registry panics on this at
 // runtime.
 var dupKind = reg.Gauge("ares_fixture_jobs_total", "jobs level")
+
+// Good: the CPV assessment surface pairs a counter with a gauge under
+// distinct ares_cpv_* names.
+var cpvAssess = reg.Counter("ares_cpv_assess_total", "assessments")
+var cpvCatalog = reg.Gauge("ares_cpv_catalog_records", "records")
+
+// Bad: uppercase breaks the lowercase ares_ namespace rule.
+var cpvBadCase = reg.Counter("ares_CPV_compile_errors_total", "compile errors")
+
+// Bad: re-registering the CPV gauge as a counter.
+var cpvDupKind = reg.Counter("ares_cpv_catalog_records", "records")

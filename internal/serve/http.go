@@ -15,6 +15,12 @@ import (
 //	GET  /v1/jobs/{id}        job status
 //	GET  /v1/jobs/{id}/events per-job progress as Server-Sent Events
 //	GET  /v1/results/{id}     aggregated report of a finished job
+//	GET  /v1/cpvs             built-in CPV catalog (JSON)
+//	GET  /v1/cpvs/{id}        one catalog record
+//	POST /v1/cpvs/{id}/assess compile the record and submit it through the
+//	                          content-addressed queue (same codes as
+//	                          POST /v1/jobs); optional JSON body overrides
+//	                          seed/trials/episodes/max_steps/learner
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness + queue depth
 func (s *Server) Handler() http.Handler {
@@ -23,6 +29,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/cpvs", s.handleCPVList)
+	mux.HandleFunc("GET /v1/cpvs/{id}", s.handleCPVGet)
+	mux.HandleFunc("POST /v1/cpvs/{id}/assess", s.handleCPVAssess)
 	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux

@@ -143,6 +143,7 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 type Server struct {
 	cfg    Config
 	mx     serverMetrics
+	cpvMx  cpvMetrics
 	budget *par.Budget
 	cache  *lru
 
@@ -178,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		mx:        newServerMetrics(cfg.Metrics),
+		cpvMx:     newCPVMetrics(cfg.Metrics),
 		budget:    par.NewBudget(cfg.Parallelism),
 		cache:     newLRU(cfg.CacheSize),
 		runCtx:    runCtx,
