@@ -1,0 +1,141 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// batchCampaignSpec is a small real-executor spec with multiple trials per
+// cell (the batchable dimension) and a mixed variable axis.
+func batchCampaignSpec() Spec {
+	return Spec{
+		Name:      "batch-equiv",
+		Seed:      21,
+		Missions:  []MissionSpec{{Kind: "line", Size: 40, Alt: 10}},
+		Variables: []string{"CMD.Roll", "PIDR.INTEG"},
+		Goals:     []string{GoalDeviation},
+		Defenses:  []string{DefenseNone},
+		Trials:    3,
+		Episodes:  2,
+		MaxSteps:  6,
+	}
+}
+
+// sortedOKRecords runs the spec through a runner and returns its records
+// sorted by key, failing on any non-OK status.
+func sortedOKRecords(t *testing.T, r *Runner, spec Spec) []Record {
+	t.Helper()
+	store, path := openTempStore(t)
+	stats, err := r.Run(context.Background(), spec, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OK != stats.Total {
+		t.Fatalf("%d/%d jobs ok (errors=%d panics=%d)", stats.OK, stats.Total, stats.Errors, stats.Panics)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	recs := st.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return recs
+}
+
+// TestBatchExecutorRecordEquivalence is the campaign-level determinism
+// contract: running a spec with batched trial grouping produces records
+// bit-identical to the scalar executor — every trial's metrics (deviation,
+// return, learned best return, success) must match exactly.
+func TestBatchExecutorRecordEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real executor skipped in -short")
+	}
+	spec := batchCampaignSpec()
+
+	scalar := sortedOKRecords(t, &Runner{Workers: 2, Execute: NewExecutor()}, spec)
+
+	exec, group := NewBatchExecutor()
+	batched := sortedOKRecords(t, &Runner{Workers: 2, Execute: exec, ExecuteGroup: group}, spec)
+
+	if len(scalar) != len(batched) {
+		t.Fatalf("record counts differ: scalar %d vs batched %d", len(scalar), len(batched))
+	}
+	for i := range scalar {
+		if !reflect.DeepEqual(scalar[i], batched[i]) {
+			t.Errorf("record %s diverged:\nscalar:  %+v (metrics %+v)\nbatched: %+v (metrics %+v)",
+				scalar[i].Key, scalar[i], scalar[i].Metrics, batched[i], batched[i].Metrics)
+		}
+	}
+}
+
+// TestGroupUnits checks the cell-grouping partition: batchable trials of
+// one cell merge in expansion order, non-batchable jobs stay scalar, and a
+// nil group executor leaves every job alone.
+func TestGroupUnits(t *testing.T) {
+	spec := batchCampaignSpec()
+	spec.Goals = []string{GoalDeviation, GoalCrash}
+	jobs := spec.Expand() // 2 variables × 2 goals × 3 trials
+
+	exec, group := NewBatchExecutor()
+	r := &Runner{Execute: exec, ExecuteGroup: group}
+	units := r.groupUnits(jobs)
+	// 2 deviation cells of 3 trials each + 6 scalar crash jobs.
+	if len(units) != 8 {
+		t.Fatalf("got %d units, want 8", len(units))
+	}
+	var grouped, scalarJobs int
+	for _, u := range units {
+		if len(u) > 1 {
+			grouped++
+			if len(u) != 3 {
+				t.Fatalf("group of %d trials, want 3", len(u))
+			}
+			cell := cellOf(u[0])
+			for _, j := range u {
+				if cellOf(j) != cell {
+					t.Fatalf("mixed cells in one group: %s vs %s", cell, cellOf(j))
+				}
+				if !Batchable(j) {
+					t.Fatalf("non-batchable job %s grouped", j.Key)
+				}
+			}
+		} else {
+			scalarJobs++
+		}
+	}
+	if grouped != 2 || scalarJobs != 6 {
+		t.Fatalf("grouped=%d scalar=%d, want 2 and 6", grouped, scalarJobs)
+	}
+
+	plain := &Runner{}
+	if got := plain.groupUnits(jobs); len(got) != len(jobs) {
+		t.Fatalf("nil group executor produced %d units for %d jobs", len(got), len(jobs))
+	}
+}
+
+// TestBatchableAxes pins which cells may batch.
+func TestBatchableAxes(t *testing.T) {
+	base := Job{Goal: GoalDeviation, Attack: AttackRL}
+	if !Batchable(base) {
+		t.Error("deviation/rl not batchable")
+	}
+	base.Learner = "reinforce"
+	if !Batchable(base) {
+		t.Error("explicit reinforce learner not batchable")
+	}
+	for _, j := range []Job{
+		{Goal: GoalCrash, Attack: AttackRL},
+		{Goal: GoalDeviation, Attack: AttackStealthy},
+		{Goal: GoalDeviation, Attack: AttackRL, Learner: "qlearning"},
+	} {
+		if Batchable(j) {
+			t.Errorf("job %+v should not be batchable", j)
+		}
+	}
+}

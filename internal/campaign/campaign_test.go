@@ -3,7 +3,9 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,6 +14,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"github.com/ares-cps/ares/internal/core"
+	"github.com/ares-cps/ares/internal/rl"
 )
 
 func testSpec() Spec {
@@ -452,5 +457,35 @@ func TestValidateRejectsNonPositiveMission(t *testing.T) {
 	s = Spec{Missions: []MissionSpec{{Kind: "square", Size: 20, Alt: 0}}}
 	if err := s.Validate(); err == nil {
 		t.Error("zero-altitude mission validated")
+	}
+}
+
+// TestMetricsOfNonFiniteReturns guards the JSON artifact against the
+// paper's infinite terminal rewards: Equation 4 scores a detected episode
+// -Inf (and Equation 5 scores zone contact +Inf), so a cell whose every
+// episode alarms under the CI defense produces an infinite eval/best
+// return. encoding/json rejects ±Inf, which used to abort the whole
+// campaign at store.Append.
+func TestMetricsOfNonFiniteReturns(t *testing.T) {
+	res := &core.ExploitResult{
+		EvalReturn:   math.Inf(-1),
+		EvalDetected: true,
+		Train:        &rl.TrainResult{BestReturn: math.Inf(1)},
+	}
+	m := metricsOf(Job{Goal: GoalDeviation}, res)
+	if m.Return != -math.MaxFloat64 || m.BestReturn != math.MaxFloat64 {
+		t.Fatalf("returns not clamped: %v / %v", m.Return, m.BestReturn)
+	}
+	if !m.Detected {
+		t.Fatal("detection event lost")
+	}
+	if _, err := json.Marshal(Record{Key: "k", Status: StatusOK, Metrics: &m}); err != nil {
+		t.Fatalf("record with clamped returns must marshal: %v", err)
+	}
+	if got := finiteReturn(math.NaN()); got != 0 {
+		t.Fatalf("NaN return = %v, want 0", got)
+	}
+	if got := finiteReturn(2.5); got != 2.5 {
+		t.Fatalf("finite return altered: %v", got)
 	}
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -43,6 +44,33 @@ func NewExecutor() Executor {
 	return e.run
 }
 
+// GroupExecutor runs several jobs from one campaign cell (same axes,
+// different trial seeds) as a single batched lockstep rollout.
+// Implementations must return one Metrics per job, in order, and each
+// job's metrics must be deterministic in that job's Seed alone — identical
+// to what the scalar Executor would produce for the same job.
+type GroupExecutor func(ctx context.Context, jobs []Job) ([]Metrics, error)
+
+// NewBatchExecutor returns the scalar executor plus its batched group
+// companion. Both share one per-mission monitor cache, so mixing them in a
+// run calibrates each mission once. Give both to a Runner (Execute +
+// ExecuteGroup) to batch a cell's trials through the structure-of-arrays
+// simulation kernel while non-batchable cells keep the scalar path.
+func NewBatchExecutor() (Executor, GroupExecutor) {
+	e := &aresExecutor{monitors: make(map[string]*monitorEntry)}
+	return e.run, e.runGroup
+}
+
+// Batchable reports whether a job may join a batched trial group: the
+// RL deviation goal with the (default) reinforce learner. Crash cells need
+// an obstacle world per environment, stealthy cells are single session
+// flights, and the tabular ablation learner has no lockstep trainer — all
+// keep the scalar path.
+func Batchable(job Job) bool {
+	return job.Goal == GoalDeviation && job.Attack == AttackRL &&
+		(job.Learner == "" || job.Learner == "reinforce")
+}
+
 func (e *aresExecutor) monitor(job Job) (*defense.ControlInvariants, error) {
 	name := job.Mission.Name()
 	e.mu.Lock()
@@ -74,41 +102,9 @@ func (e *aresExecutor) run(ctx context.Context, job Job) (Metrics, error) {
 	if job.Attack == AttackStealthy {
 		return e.runStealthy(job)
 	}
-	mission, err := job.Mission.Build()
+	cfg, err := e.exploitConfig(job)
 	if err != nil {
 		return Metrics{}, err
-	}
-
-	envCfg := core.EnvConfig{
-		Variable:  job.Variable,
-		Mission:   mission,
-		MaxAction: job.MaxAction,
-		Seed:      mathx.DeriveSeed(job.Seed, streamJobEnv),
-		// CMD.* cells are rewritten by the navigator every cycle, so the
-		// injection must act as a standing per-tick offset; stateful cells
-		// (integrators) hold a one-shot injection.
-		PerTick: strings.HasPrefix(job.Variable, "CMD."),
-	}
-	switch job.Defense {
-	case DefenseCI:
-		det, err := e.monitor(job)
-		if err != nil {
-			return Metrics{}, err
-		}
-		envCfg.Detector = det
-	case DefenseRecovery:
-		det, err := e.monitor(job)
-		if err != nil {
-			return Metrics{}, err
-		}
-		envCfg.Recovery = defense.NewRecoveryGuard(det)
-	}
-	cfg := core.ExploitConfig{
-		Env:      envCfg,
-		Episodes: job.Episodes,
-		MaxSteps: job.MaxSteps,
-		Seed:     mathx.DeriveSeed(job.Seed, streamJobPolicy),
-		Learner:  job.Learner,
 	}
 
 	switch job.Goal {
@@ -134,6 +130,76 @@ func (e *aresExecutor) run(ctx context.Context, job Job) (Metrics, error) {
 	default:
 		return Metrics{}, fmt.Errorf("campaign: unknown goal %q", job.Goal)
 	}
+}
+
+// exploitConfig builds one job's exploit training configuration. The scalar
+// and batched paths both go through here, so a batched lane trains from a
+// config byte-identical to its scalar counterpart.
+func (e *aresExecutor) exploitConfig(job Job) (core.ExploitConfig, error) {
+	mission, err := job.Mission.Build()
+	if err != nil {
+		return core.ExploitConfig{}, err
+	}
+	envCfg := core.EnvConfig{
+		Variable:  job.Variable,
+		Mission:   mission,
+		MaxAction: job.MaxAction,
+		Seed:      mathx.DeriveSeed(job.Seed, streamJobEnv),
+		// CMD.* cells are rewritten by the navigator every cycle, so the
+		// injection must act as a standing per-tick offset; stateful cells
+		// (integrators) hold a one-shot injection.
+		PerTick: strings.HasPrefix(job.Variable, "CMD."),
+	}
+	switch job.Defense {
+	case DefenseCI:
+		det, err := e.monitor(job)
+		if err != nil {
+			return core.ExploitConfig{}, err
+		}
+		envCfg.Detector = det
+	case DefenseRecovery:
+		det, err := e.monitor(job)
+		if err != nil {
+			return core.ExploitConfig{}, err
+		}
+		envCfg.Recovery = defense.NewRecoveryGuard(det)
+	}
+	return core.ExploitConfig{
+		Env:      envCfg,
+		Episodes: job.Episodes,
+		MaxSteps: job.MaxSteps,
+		Seed:     mathx.DeriveSeed(job.Seed, streamJobPolicy),
+		Learner:  job.Learner,
+	}, nil
+}
+
+// runGroup executes one batched trial group: every job becomes a lane of a
+// shared structure-of-arrays simulation batch, trained in lockstep. Job k's
+// metrics are bit-identical to running it through the scalar executor.
+func (e *aresExecutor) runGroup(ctx context.Context, jobs []Job) ([]Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfgs := make([]core.ExploitConfig, len(jobs))
+	for i, job := range jobs {
+		if !Batchable(job) {
+			return nil, fmt.Errorf("campaign: job %s is not batchable", job.Key)
+		}
+		cfg, err := e.exploitConfig(job)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+	}
+	results, err := core.TrainDeviationExploitBatch(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]Metrics, len(jobs))
+	for i, job := range jobs {
+		ms[i] = metricsOf(job, results[i])
+	}
+	return ms, nil
 }
 
 // runStealthy executes one stealthy-injection cell. The attack is a fixed
@@ -202,14 +268,14 @@ func (e *aresExecutor) runStealthy(job Job) (Metrics, error) {
 func metricsOf(job Job, res *core.ExploitResult) Metrics {
 	m := Metrics{
 		Deviation:   res.EvalDeviation,
-		Return:      res.EvalReturn,
+		Return:      finiteReturn(res.EvalReturn),
 		Detected:    res.EvalDetected,
 		Crashed:     res.EvalCrashed,
 		GoalReached: res.EvalGoalReached,
 		Recovered:   res.EvalRecovered,
 	}
 	if res.Train != nil {
-		m.BestReturn = res.Train.BestReturn
+		m.BestReturn = finiteReturn(res.Train.BestReturn)
 	}
 	switch job.Goal {
 	case GoalCrash:
@@ -219,6 +285,26 @@ func metricsOf(job Job, res *core.ExploitResult) Metrics {
 			!res.EvalDetected
 	}
 	return m
+}
+
+// finiteReturn maps the paper's infinite terminal rewards onto values the
+// JSON artifact can carry: Equation 4 scores a detected episode -Inf and
+// Equation 5 scores zone contact +Inf, so a cell whose every episode trips
+// the detector trains to a literally infinite return — which
+// encoding/json rejects, aborting the whole campaign at store.Append.
+// The sign is clamped to ±MaxFloat64 (round-trips exactly through JSON)
+// and the underlying events stay first-class in the record as the
+// Detected / GoalReached booleans, so no information is lost.
+func finiteReturn(v float64) float64 {
+	switch {
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	case math.IsNaN(v):
+		return 0
+	}
+	return v
 }
 
 // crashZone places the Case Study II forbidden zone 10 m beside the final

@@ -1,0 +1,322 @@
+package control
+
+import (
+	"math"
+
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// This file holds the structure-of-arrays controller bank that pairs with
+// sim.BatchQuad: one set of shared gains plus per-lane scratch arrays
+// (integrators[N], filter state[N], slew state[N]), so N lockstep rollouts
+// run the full position→attitude→mixer cascade without N controller-object
+// graphs. Lane k of a batch controller is bit-identical to the scalar
+// controller it mirrors — enforced by batch_test.go — because each Update
+// replays the scalar arithmetic in the same operation order on the lane's
+// slots. The batched controllers deliberately do not expose vars.Ref
+// registration: a lane that needs to be attacked or traced through the MPU
+// memory map is flown on the scalar stack instead.
+
+// BatchPID is N AC_PID controllers sharing one set of gains, with the live
+// state (v5 INTEG, v6 INPUT and the filter memory) held in per-lane slots.
+type BatchPID struct {
+	kp, ki, kd, kff float64
+	iMax            float64
+	dt              float64
+	alpha           float64 // low-pass coefficient for (FilterHz, DT)
+	outMin, outMax  float64
+
+	integrator []float64
+	input      []float64
+	lastInput  []float64
+	hasInput   []bool
+}
+
+// NewBatchPID builds n lanes of the PID described by cfg, applying the same
+// defaulting as NewPID (±5000 output range, 400 Hz period).
+func NewBatchPID(cfg PIDConfig, n int) *BatchPID {
+	outMin, outMax := cfg.OutMin, cfg.OutMax
+	if outMin == 0 && outMax == 0 {
+		outMin, outMax = -5000, 5000
+	}
+	dt := cfg.DT
+	if dt <= 0 {
+		dt = 1.0 / 400
+	}
+	return &BatchPID{
+		kp: cfg.KP, ki: cfg.KI, kd: cfg.KD, kff: cfg.KFF,
+		iMax:       cfg.IMax,
+		dt:         dt,
+		alpha:      mathx.LowPassAlpha(cfg.FilterHz, dt),
+		outMin:     outMin,
+		outMax:     outMax,
+		integrator: make([]float64, n),
+		input:      make([]float64, n),
+		lastInput:  make([]float64, n),
+		hasInput:   make([]bool, n),
+	}
+}
+
+// Update runs one controller cycle for lane k, replaying PID.Update's exact
+// filter → derivative → integrator → output sequence on the lane's state.
+func (p *BatchPID) Update(k int, target, actual float64) float64 {
+	err := target - actual
+
+	if p.hasInput[k] {
+		p.input[k] += (err - p.input[k]) * p.alpha
+	} else {
+		p.input[k] = err
+		p.lastInput[k] = err
+		p.hasInput[k] = true
+	}
+
+	derivative := 0.0
+	if p.dt > 0 {
+		derivative = (p.input[k] - p.lastInput[k]) / p.dt
+	}
+	p.lastInput[k] = p.input[k]
+
+	if p.ki != 0 && p.dt > 0 {
+		p.integrator[k] += p.input[k] * p.ki * p.dt
+		if p.iMax > 0 {
+			p.integrator[k] = mathx.Clamp(p.integrator[k], -p.iMax, p.iMax)
+		}
+	}
+
+	sum := p.input[k]*p.kp + p.integrator[k] + derivative*p.kd + target*p.kff
+	return mathx.Clamp(sum, p.outMin, p.outMax)
+}
+
+// Reset clears lane k's dynamic state, as PID.Reset does.
+func (p *BatchPID) Reset(k int) {
+	p.integrator[k] = 0
+	p.input[k] = 0
+	p.lastInput[k] = 0
+	p.hasInput[k] = false
+}
+
+// Integrator returns lane k's integrator value.
+func (p *BatchPID) Integrator(k int) float64 { return p.integrator[k] }
+
+// sqrtCtl is SqrtController.Update as a pure function: the scalar type's
+// only mutable fields are instrumentation, so the batched cascade shares
+// the gains and skips the per-lane state entirely.
+func sqrtCtl(p, secondOrdLim, err float64) float64 {
+	if secondOrdLim <= 0 || p == 0 {
+		return err * p
+	}
+	linearDist := secondOrdLim / (p * p)
+	switch {
+	case err > linearDist:
+		return math.Sqrt(2 * secondOrdLim * (err - linearDist/2))
+	case err < -linearDist:
+		return -math.Sqrt(2 * secondOrdLim * (-err - linearDist/2))
+	default:
+		return err * p
+	}
+}
+
+// BatchAttitude is N attitude cascades (angle sqrt controllers + rate PIDs)
+// sharing one tune.
+type BatchAttitude struct {
+	angleP, accelLim    float64
+	maxRate, maxYawRate float64
+	rateR, rateP, rateY *BatchPID
+}
+
+// NewBatchAttitude builds n lanes of the attitude cascade.
+func NewBatchAttitude(cfg AttitudeConfig, n int) *BatchAttitude {
+	return &BatchAttitude{
+		angleP:     cfg.AngleP,
+		accelLim:   cfg.AccelLim,
+		maxRate:    cfg.MaxRateRS,
+		maxYawRate: cfg.MaxYawRateRS,
+		rateR:      NewBatchPID(cfg.Rate, n),
+		rateP:      NewBatchPID(cfg.Rate, n),
+		rateY:      NewBatchPID(cfg.RateYaw, n),
+	}
+}
+
+// Update runs one attitude cycle for lane k, mirroring
+// AttitudeController.Update.
+func (a *BatchAttitude) Update(k int, desRoll, desPitch, desYaw, roll, pitch, yaw float64, gyro mathx.Vec3) (tr, tp, ty float64) {
+	eulerRateR := mathx.Clamp(sqrtCtl(a.angleP, a.accelLim, mathx.WrapPi(desRoll-roll)), -a.maxRate, a.maxRate)
+	eulerRateP := mathx.Clamp(sqrtCtl(a.angleP, a.accelLim, mathx.WrapPi(desPitch-pitch)), -a.maxRate, a.maxRate)
+	maxYaw := a.maxYawRate
+	if maxYaw <= 0 {
+		maxYaw = a.maxRate
+	}
+	eulerRateY := mathx.Clamp(sqrtCtl(a.angleP, a.accelLim, mathx.WrapPi(desYaw-yaw)), -maxYaw, maxYaw)
+
+	sinR, cosR := math.Sin(roll), math.Cos(roll)
+	sinP, cosP := math.Sin(pitch), math.Cos(pitch)
+	rateTargetR := eulerRateR - sinP*eulerRateY
+	rateTargetP := cosR*eulerRateP + sinR*cosP*eulerRateY
+	rateTargetY := -sinR*eulerRateP + cosR*cosP*eulerRateY
+
+	tr = a.rateR.Update(k, rateTargetR, gyro.X)
+	tp = a.rateP.Update(k, rateTargetP, gyro.Y)
+	ty = a.rateY.Update(k, rateTargetY, gyro.Z)
+	return tr, tp, ty
+}
+
+// Reset clears lane k's rate-PID state.
+func (a *BatchAttitude) Reset(k int) {
+	a.rateR.Reset(k)
+	a.rateP.Reset(k)
+	a.rateY.Reset(k)
+}
+
+// BatchPosition is N position cascades sharing one tune; the velocity-slew
+// memory (NTUN DVelX/DVelY) is the only per-lane state beyond the PIDs.
+type BatchPosition struct {
+	posP, posZP            float64
+	maxSpeedXY, maxSpeedZ  float64
+	maxAccelXY             float64
+	maxLean, hoverThrottle float64
+	dt                     float64
+	velX, velY, velZ       *BatchPID
+
+	desVelX, desVelY []float64
+}
+
+// NewBatchPosition builds n lanes of the position cascade.
+func NewBatchPosition(cfg PositionConfig, n int) *BatchPosition {
+	dt := cfg.DT
+	if dt <= 0 {
+		dt = 1.0 / 400
+	}
+	return &BatchPosition{
+		posP:          cfg.PosP,
+		posZP:         cfg.PosZP,
+		maxSpeedXY:    cfg.MaxSpeedXY,
+		maxSpeedZ:     cfg.MaxSpeedZ,
+		maxAccelXY:    cfg.MaxAccelXY,
+		maxLean:       cfg.MaxLeanAngle,
+		hoverThrottle: cfg.HoverThrottle,
+		dt:            dt,
+		velX:          NewBatchPID(cfg.VelXY, n),
+		velY:          NewBatchPID(cfg.VelXY, n),
+		velZ:          NewBatchPID(cfg.VelZ, n),
+		desVelX:       make([]float64, n),
+		desVelY:       make([]float64, n),
+	}
+}
+
+// Update runs one position cycle for lane k, mirroring
+// PositionController.Update (including its hard-coded sqrt-controller
+// second-order limits of 2.0 horizontal, 1.5 vertical).
+func (c *BatchPosition) Update(k int, targetPos, pos, vel mathx.Vec3, yaw float64) (desRoll, desPitch, throttle float64) {
+	errN := targetPos.X - pos.X
+	errE := targetPos.Y - pos.Y
+	errDist := math.Hypot(errN, errE)
+	speed := mathx.Clamp(sqrtCtl(c.posP, 2.0, errDist), 0, c.maxSpeedXY)
+	rawVelX, rawVelY := 0.0, 0.0
+	if errDist > 1e-9 {
+		rawVelX = speed * errN / errDist
+		rawVelY = speed * errE / errDist
+	}
+	if c.maxAccelXY > 0 {
+		maxStep := c.maxAccelXY * c.dt
+		c.desVelX[k] += mathx.Clamp(rawVelX-c.desVelX[k], -maxStep, maxStep)
+		c.desVelY[k] += mathx.Clamp(rawVelY-c.desVelY[k], -maxStep, maxStep)
+	} else {
+		c.desVelX[k], c.desVelY[k] = rawVelX, rawVelY
+	}
+
+	desAccX := c.velX.Update(k, c.desVelX[k], vel.X)
+	desAccY := c.velY.Update(k, c.desVelY[k], vel.Y)
+
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+	accFwd := desAccX*cy + desAccY*sy
+	accRight := -desAccX*sy + desAccY*cy
+	desPitch = mathx.Clamp(-math.Atan2(accFwd, gravityMS2), -c.maxLean, c.maxLean)
+	desRoll = mathx.Clamp(math.Atan2(accRight, gravityMS2), -c.maxLean, c.maxLean)
+
+	altErr := -(targetPos.Z - pos.Z)
+	climb := mathx.Clamp(sqrtCtl(c.posZP, 1.5, altErr), -c.maxSpeedZ, c.maxSpeedZ)
+	climbMeas := -vel.Z
+	delta := c.velZ.Update(k, climb, climbMeas)
+	throttle = mathx.Clamp(c.hoverThrottle+delta, 0, 1)
+	return desRoll, desPitch, throttle
+}
+
+// Reset clears lane k's velocity PIDs and slew memory.
+func (c *BatchPosition) Reset(k int) {
+	c.velX.Reset(k)
+	c.velY.Reset(k)
+	c.velZ.Reset(k)
+	c.desVelX[k] = 0
+	c.desVelY[k] = 0
+}
+
+// mix is Mixer.Mix as a pure function (lastCmd is logging-only state).
+func mix(throttle, rollT, pitchT, yawT float64) [4]float64 {
+	base := [4]float64{
+		throttle - rollT + pitchT,
+		throttle + rollT - pitchT,
+		throttle + rollT + pitchT,
+		throttle - rollT - pitchT,
+	}
+	yawSign := [4]float64{1, 1, -1, -1}
+	scale := 1.0
+	for i := range base {
+		y := yawT * yawSign[i]
+		if y == 0 {
+			continue
+		}
+		headroom := 1 - base[i]
+		if y < 0 {
+			headroom = base[i]
+		}
+		if need := math.Abs(y); need > 0 && headroom < need {
+			if headroom < 0 {
+				headroom = 0
+			}
+			if s := headroom / need; s < scale {
+				scale = s
+			}
+		}
+	}
+	var cmd [4]float64
+	for i := range cmd {
+		cmd[i] = mathx.Clamp(base[i]+yawT*yawSign[i]*scale, 0, 1)
+	}
+	return cmd
+}
+
+// BatchCascade is the full per-lane guided-flight control stack: position
+// cascade → attitude cascade → motor mixer, N lanes wide.
+type BatchCascade struct {
+	Pos *BatchPosition
+	Att *BatchAttitude
+	n   int
+}
+
+// NewBatchCascade builds n lanes of the combined cascade.
+func NewBatchCascade(attCfg AttitudeConfig, posCfg PositionConfig, n int) *BatchCascade {
+	return &BatchCascade{
+		Pos: NewBatchPosition(posCfg, n),
+		Att: NewBatchAttitude(attCfg, n),
+		n:   n,
+	}
+}
+
+// Len returns the number of lanes.
+func (c *BatchCascade) Len() int { return c.n }
+
+// Update runs one full control cycle for lane k: fly toward targetPos with
+// heading desYaw given the measured state, returning the four motor
+// commands. roll/pitch/yaw are the measured Euler angles; gyro the body
+// rates.
+func (c *BatchCascade) Update(k int, targetPos, pos, vel mathx.Vec3, roll, pitch, yaw, desYaw float64, gyro mathx.Vec3) [4]float64 {
+	desRoll, desPitch, throttle := c.Pos.Update(k, targetPos, pos, vel, yaw)
+	tr, tp, ty := c.Att.Update(k, desRoll, desPitch, desYaw, roll, pitch, yaw, gyro)
+	return mix(throttle, tr, tp, ty)
+}
+
+// Reset clears lane k's dynamic state across both cascades.
+func (c *BatchCascade) Reset(k int) {
+	c.Pos.Reset(k)
+	c.Att.Reset(k)
+}

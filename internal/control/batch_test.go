@@ -1,0 +1,179 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// scalarCascade composes the scalar controllers exactly as the batched
+// cascade does, for bit-identity comparison.
+type scalarCascade struct {
+	pos *PositionController
+	att *AttitudeController
+	mix *Mixer
+}
+
+func newScalarCascade(dt, hover float64) *scalarCascade {
+	return &scalarCascade{
+		pos: NewPositionController(DefaultPositionConfig(dt, hover)),
+		att: NewAttitudeController(DefaultAttitudeConfig(dt)),
+		mix: &Mixer{},
+	}
+}
+
+func (s *scalarCascade) update(targetPos, pos, vel mathx.Vec3, roll, pitch, yaw, desYaw float64, gyro mathx.Vec3) [4]float64 {
+	desRoll, desPitch, throttle := s.pos.Update(targetPos, pos, vel, yaw)
+	tr, tp, ty := s.att.Update(desRoll, desPitch, desYaw, roll, pitch, yaw, gyro)
+	return s.mix.Mix(throttle, tr, tp, ty)
+}
+
+// laneState synthesizes a deterministic, lane-dependent flight state that
+// sweeps targets, attitudes and rates through realistic and extreme values.
+func laneState(lane, step int) (targetPos, pos, vel mathx.Vec3, roll, pitch, yaw, desYaw float64, gyro mathx.Vec3) {
+	f := float64((step+53*lane)%1009) / 1009
+	g := float64((step+29*lane)%613) / 613
+	targetPos = mathx.V3(20*f, 10*(g-0.5), -8)
+	pos = mathx.V3(18*f, 9*(g-0.5), -7.5+f)
+	vel = mathx.V3(3*(f-0.5), 2*(g-0.5), 0.5*(f-g))
+	roll = 0.4 * (f - 0.5)
+	pitch = 0.3 * (g - 0.5)
+	yaw = 3 * (f - 0.5)
+	desYaw = 3 * (g - 0.5)
+	gyro = mathx.V3(1.5*(g-0.5), 1.2*(f-0.5), 0.8*(f-g))
+	return
+}
+
+// TestBatchCascadeEquivalence checks every lane of the batched cascade is
+// bit-identical to an independently stepped scalar cascade, at N ∈ {1, 8, 64}.
+func TestBatchCascadeEquivalence(t *testing.T) {
+	const dt = 1.0 / 400
+	const hover = 0.39
+	for _, n := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			batch := NewBatchCascade(DefaultAttitudeConfig(dt), DefaultPositionConfig(dt, hover), n)
+			if batch.Len() != n {
+				t.Fatalf("Len = %d, want %d", batch.Len(), n)
+			}
+			scalars := make([]*scalarCascade, n)
+			for k := range scalars {
+				scalars[k] = newScalarCascade(dt, hover)
+			}
+			steps := 20000 / n * 4
+			if steps > 20000 {
+				steps = 20000
+			}
+			for i := 0; i < steps; i++ {
+				for k := 0; k < n; k++ {
+					tp, p, v, roll, pitch, yaw, desYaw, gyro := laneState(k, i)
+					got := batch.Update(k, tp, p, v, roll, pitch, yaw, desYaw, gyro)
+					want := scalars[k].update(tp, p, v, roll, pitch, yaw, desYaw, gyro)
+					if got != want {
+						t.Fatalf("lane %d step %d: motors %v vs scalar %v", k, i, got, want)
+					}
+				}
+			}
+			// Integrator state must match too, not just outputs.
+			for k := range scalars {
+				if bi, si := batch.Att.rateR.Integrator(k), scalars[k].att.RateRoll.Integrator(); bi != si {
+					t.Fatalf("lane %d: rate-roll integrator %v vs scalar %v", k, bi, si)
+				}
+				if bi, si := batch.Pos.velZ.Integrator(k), scalars[k].pos.VelZ.Integrator(); bi != si {
+					t.Fatalf("lane %d: vel-z integrator %v vs scalar %v", k, bi, si)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCascadeResetIsolation resets one lane and checks (a) it matches a
+// fresh scalar cascade afterwards and (b) neighboring lanes are untouched.
+func TestBatchCascadeResetIsolation(t *testing.T) {
+	const dt = 1.0 / 400
+	const hover = 0.39
+	const n = 4
+	batch := NewBatchCascade(DefaultAttitudeConfig(dt), DefaultPositionConfig(dt, hover), n)
+	scalars := make([]*scalarCascade, n)
+	for k := range scalars {
+		scalars[k] = newScalarCascade(dt, hover)
+	}
+	step := func(from, to int) {
+		for i := from; i < to; i++ {
+			for k := 0; k < n; k++ {
+				tp, p, v, roll, pitch, yaw, desYaw, gyro := laneState(k, i)
+				got := batch.Update(k, tp, p, v, roll, pitch, yaw, desYaw, gyro)
+				want := scalars[k].update(tp, p, v, roll, pitch, yaw, desYaw, gyro)
+				if got != want {
+					t.Fatalf("lane %d step %d diverged after reset", k, i)
+				}
+			}
+		}
+	}
+	step(0, 500)
+	batch.Reset(2)
+	scalars[2] = newScalarCascade(dt, hover)
+	scalars[2].pos.Reset() // fresh anyway; keep both paths explicit
+	scalars[2].att.Reset()
+	step(500, 1000)
+}
+
+// TestBatchPIDEquivalence drives a standalone BatchPID against scalar PIDs
+// through filter warm-up, integrator clamping and output clamping.
+func TestBatchPIDEquivalence(t *testing.T) {
+	cfg := PIDConfig{KP: 1.2, KI: 0.7, KD: 0.01, KFF: 0.1, IMax: 0.3, FilterHz: 10, DT: 1.0 / 400, OutMin: -0.8, OutMax: 0.8}
+	const n = 8
+	bp := NewBatchPID(cfg, n)
+	sp := make([]*PID, n)
+	for k := range sp {
+		sp[k] = NewPID(cfg)
+	}
+	for i := 0; i < 5000; i++ {
+		for k := 0; k < n; k++ {
+			target := math.Sin(float64(i)/50 + float64(k))
+			actual := 0.8 * math.Sin(float64(i)/50+float64(k)-0.2)
+			got := bp.Update(k, target, actual)
+			want := sp[k].Update(target, actual)
+			if got != want {
+				t.Fatalf("lane %d step %d: %v vs %v", k, i, got, want)
+			}
+		}
+	}
+	bp.Reset(3)
+	sp[3].Reset()
+	for i := 0; i < 100; i++ {
+		got := bp.Update(3, 1, 0.5)
+		want := sp[3].Update(1, 0.5)
+		if got != want {
+			t.Fatalf("post-reset step %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+// TestBatchPIDDefaulting checks NewBatchPID applies NewPID's defaults.
+func TestBatchPIDDefaulting(t *testing.T) {
+	bp := NewBatchPID(PIDConfig{KP: 1}, 1)
+	if bp.outMin != -5000 || bp.outMax != 5000 {
+		t.Fatalf("default range [%v, %v], want ±5000", bp.outMin, bp.outMax)
+	}
+	if bp.dt != 1.0/400 {
+		t.Fatalf("default dt %v, want 1/400", bp.dt)
+	}
+}
+
+// TestBatchCascadeUpdateAllocs asserts a full per-lane cascade cycle is
+// allocation-free.
+func TestBatchCascadeUpdateAllocs(t *testing.T) {
+	const dt = 1.0 / 400
+	batch := NewBatchCascade(DefaultAttitudeConfig(dt), DefaultPositionConfig(dt, 0.39), 8)
+	tp, p, v, roll, pitch, yaw, desYaw, gyro := laneState(0, 0)
+	allocs := testing.AllocsPerRun(200, func() {
+		for k := 0; k < 8; k++ {
+			batch.Update(k, tp, p, v, roll, pitch, yaw, desYaw, gyro)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cascade Update allocates %v times per sweep, want 0", allocs)
+	}
+}

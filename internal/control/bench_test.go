@@ -1,0 +1,40 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCascadeStep is the scalar full-cascade (position → attitude →
+// mixer) per-lane-cycle baseline.
+func BenchmarkCascadeStep(b *testing.B) {
+	const dt = 1.0 / 400
+	sc := newScalarCascade(dt, 0.39)
+	tp, p, v, roll, pitch, yaw, desYaw, gyro := laneState(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.update(tp, p, v, roll, pitch, yaw, desYaw, gyro)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/trial-step")
+}
+
+// BenchmarkBatchCascadeStep measures the SoA cascade bank; one iteration
+// sweeps all N lanes, so ns/trial-step compares against the scalar baseline.
+func BenchmarkBatchCascadeStep(b *testing.B) {
+	const dt = 1.0 / 400
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			batch := NewBatchCascade(DefaultAttitudeConfig(dt), DefaultPositionConfig(dt, 0.39), n)
+			tp, p, v, roll, pitch, yaw, desYaw, gyro := laneState(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < n; k++ {
+					batch.Update(k, tp, p, v, roll, pitch, yaw, desYaw, gyro)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/trial-step")
+		})
+	}
+}

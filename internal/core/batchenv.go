@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ares-cps/ares/internal/mathx"
+	"github.com/ares-cps/ares/internal/rl"
+	"github.com/ares-cps/ares/internal/sim"
+)
+
+// BatchEnv runs N DeviationEnv-equivalent episodes in lockstep over one
+// shared structure-of-arrays physics kernel (sim.BatchQuad). Each lane
+// keeps its own firmware stack — sensors, EKF, controllers, CI monitor and
+// recovery guard are per-lane state — but every lane's vehicle is a lane of
+// the same batch, so the RK4 integration runs through the flattened batched
+// kernel instead of N scalar Quads.
+//
+// The determinism contract matches the rest of the repo: lane k is
+// bit-identical to a scalar DeviationEnv constructed from the same
+// EnvConfig (same seed stream, same detector/recovery clones), because a
+// freshly reset batch lane is bit-identical to a freshly built Quad and the
+// batched kernel is bit-identical to the scalar one. Lanes finish
+// independently: a lane whose episode ends (crash, alarm, step budget) is
+// retired from the batch and skipped until the next Reset.
+type BatchEnv struct {
+	lanes []*DeviationEnv
+	batch *sim.BatchQuad
+	done  []bool
+}
+
+// NewBatchDeviationEnv builds one DeviationEnv lane per config, all flying
+// lanes of a single shared BatchQuad. Configs usually differ only in Seed
+// (one trial per lane) but may also carry per-lane Detector/Recovery
+// clones; missions with obstacle worlds are not batchable (CrashEnv owns
+// its world) and belong on the scalar path.
+func NewBatchDeviationEnv(cfgs []EnvConfig) (*BatchEnv, error) {
+	n := len(cfgs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: batch env needs at least one lane config")
+	}
+	batch, err := sim.NewBatchQuad(sim.IRISPlusParams(), n)
+	if err != nil {
+		return nil, err
+	}
+	lanes := make([]*DeviationEnv, n)
+	for k := range cfgs {
+		env, err := NewDeviationEnv(cfgs[k])
+		if err != nil {
+			return nil, fmt.Errorf("core: batch lane %d: %w", k, err)
+		}
+		lane := batch.Lane(k)
+		env.plant = func() sim.Vehicle {
+			lane.Reset(mathx.Vec3{})
+			return lane
+		}
+		lanes[k] = env
+	}
+	return &BatchEnv{
+		lanes: lanes,
+		batch: batch,
+		done:  make([]bool, n),
+	}, nil
+}
+
+// Len returns the number of lanes.
+func (b *BatchEnv) Len() int { return len(b.lanes) }
+
+// Lane returns lane k's environment; each lane satisfies rl.Env, so the
+// lockstep trainer can consume the batch as a slice of environments.
+func (b *BatchEnv) Lane(k int) *DeviationEnv { return b.lanes[k] }
+
+// Envs returns the lanes as rl.Env values for rl.LockstepRollouts /
+// rl.TrainLockstep.
+func (b *BatchEnv) Envs() []rl.Env {
+	envs := make([]rl.Env, len(b.lanes))
+	for k, lane := range b.lanes {
+		envs[k] = lane
+	}
+	return envs
+}
+
+// Batch exposes the shared physics kernel (lane retirement state lives
+// there).
+func (b *BatchEnv) Batch() *sim.BatchQuad { return b.batch }
+
+// Reset starts a new episode on every lane and returns per-lane initial
+// observations.
+func (b *BatchEnv) Reset() [][]float64 {
+	obs := make([][]float64, len(b.lanes))
+	for k, lane := range b.lanes {
+		obs[k] = lane.Reset()
+		b.done[k] = false
+	}
+	return obs
+}
+
+// Step advances every unfinished lane by one action interval. Finished
+// lanes keep nil observations and zero rewards; their done flag stays true.
+// A lane that finishes during this call is retired from the shared batch so
+// subsequent physics ticks skip it.
+func (b *BatchEnv) Step(actions []float64) (obs [][]float64, rewards []float64, done []bool) {
+	if len(actions) != len(b.lanes) {
+		panic(fmt.Sprintf("core: batch env of %d lanes stepped with %d actions", len(b.lanes), len(actions)))
+	}
+	obs = make([][]float64, len(b.lanes))
+	rewards = make([]float64, len(b.lanes))
+	done = make([]bool, len(b.lanes))
+	for k, lane := range b.lanes {
+		if b.done[k] {
+			done[k] = true
+			continue
+		}
+		o, r, d := lane.Step(actions[k])
+		obs[k], rewards[k], done[k] = o, r, d
+		if d {
+			b.done[k] = true
+			b.batch.Retire(k)
+		}
+	}
+	return obs, rewards, done
+}
+
+// Done reports whether lane k's episode has ended.
+func (b *BatchEnv) Done(k int) bool { return b.done[k] }
+
+// AllDone reports whether every lane's episode has ended.
+func (b *BatchEnv) AllDone() bool {
+	for _, d := range b.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}

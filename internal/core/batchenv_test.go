@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/firmware"
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// batchLaneCfg builds the per-lane env config used by the equivalence
+// tests: a strong per-tick CMD.Roll injection so lanes destabilize and
+// finish (crash) at lane-dependent ticks.
+func batchLaneCfg(seed int64) EnvConfig {
+	return EnvConfig{
+		Variable:  "CMD.Roll",
+		MaxAction: 1.6,
+		Mission:   firmware.LineMission(60, 10),
+		Seed:      seed,
+		PerTick:   true,
+	}
+}
+
+// laneAction is the deterministic action stream for one lane: after a
+// lane-staggered onset delay it holds a roll command past what the
+// throttle loop can counter (the firmware clamps CMD.Roll to max lean, so
+// grading the magnitude would not separate the lanes — the onset delay
+// does), guaranteeing lanes crash on different steps.
+func laneAction(lane, step int) float64 {
+	if step < lane*8 {
+		return 0.05 * math.Sin(float64(step)/3+float64(lane))
+	}
+	return 1.5
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchEnvLaneEquivalence is the environment-level determinism
+// contract: every BatchEnv lane produces observations, rewards, done
+// flags, deviations and crash states bit-identical to a scalar
+// DeviationEnv built from the same config — across two episodes, with
+// lanes finishing on different steps.
+func TestBatchEnvLaneEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full firmware episodes")
+	}
+	const n = 3
+	const maxSteps = 150
+	cfgs := make([]EnvConfig, n)
+	for k := range cfgs {
+		cfgs[k] = batchLaneCfg(mathx.DeriveSeed(7, int64(k+1)))
+	}
+	batch, err := NewBatchDeviationEnv(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalars := make([]*DeviationEnv, n)
+	for k := range cfgs {
+		scalars[k], err = NewDeviationEnv(cfgs[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for episode := 0; episode < 2; episode++ {
+		bObs := batch.Reset()
+		sObs := make([][]float64, n)
+		for k, env := range scalars {
+			sObs[k] = env.Reset()
+		}
+		for k := range scalars {
+			if !float64sEqual(bObs[k], sObs[k]) {
+				t.Fatalf("episode %d lane %d: reset obs %v vs scalar %v", episode, k, bObs[k], sObs[k])
+			}
+		}
+
+		sDone := make([]bool, n)
+		doneStep := make([]int, n)
+		for i := range doneStep {
+			doneStep[i] = -1
+		}
+		for step := 0; step < maxSteps; step++ {
+			actions := make([]float64, n)
+			for k := range actions {
+				actions[k] = laneAction(k, step)
+			}
+			gotObs, gotRew, gotDone := batch.Step(actions)
+			for k, env := range scalars {
+				if sDone[k] {
+					// The batch must also consider the lane done and must
+					// not have stepped it.
+					if !gotDone[k] || gotObs[k] != nil || gotRew[k] != 0 {
+						t.Fatalf("episode %d lane %d step %d: finished lane was stepped", episode, k, step)
+					}
+					continue
+				}
+				wantObs, wantRew, wantDone := env.Step(actions[k])
+				if !float64sEqual(gotObs[k], wantObs) || gotRew[k] != wantRew || gotDone[k] != wantDone {
+					t.Fatalf("episode %d lane %d step %d:\nbatch:  obs=%v r=%v done=%v\nscalar: obs=%v r=%v done=%v",
+						episode, k, step, gotObs[k], gotRew[k], gotDone[k], wantObs, wantRew, wantDone)
+				}
+				if bd, sd := batch.Lane(k).PathDistance(), env.PathDistance(); bd != sd {
+					t.Fatalf("episode %d lane %d step %d: deviation %v vs %v", episode, k, step, bd, sd)
+				}
+				bc, br := batch.Lane(k).Firmware().Quad().Crashed()
+				sc, sr := env.Firmware().Quad().Crashed()
+				if bc != sc || br != sr {
+					t.Fatalf("episode %d lane %d step %d: crash (%v,%q) vs (%v,%q)", episode, k, step, bc, br, sc, sr)
+				}
+				if wantDone {
+					sDone[k] = true
+					doneStep[k] = step
+					if !batch.Done(k) || !batch.Batch().Retired(k) {
+						t.Fatalf("episode %d lane %d: finished but not retired from batch", episode, k)
+					}
+				}
+			}
+			if batch.AllDone() {
+				break
+			}
+		}
+
+		// The point of the staggered action streams: lanes must finish on
+		// different steps, so retirement independence is actually exercised.
+		finished := map[int]bool{}
+		for k, at := range doneStep {
+			if at < 0 {
+				t.Fatalf("episode %d lane %d never finished within %d steps", episode, k, maxSteps)
+			}
+			finished[at] = true
+			_ = k
+		}
+		if len(finished) < 2 {
+			t.Fatalf("episode %d: all lanes finished on step set %v; no stagger", episode, doneStep)
+		}
+	}
+}
+
+// TestBatchEnvValidation covers constructor and Step argument errors.
+func TestBatchEnvValidation(t *testing.T) {
+	if _, err := NewBatchDeviationEnv(nil); err == nil {
+		t.Fatal("empty config list accepted")
+	}
+	if _, err := NewBatchDeviationEnv([]EnvConfig{{}}); err == nil {
+		t.Fatal("config without variable accepted")
+	}
+	batch, err := NewBatchDeviationEnv([]EnvConfig{batchLaneCfg(1), batchLaneCfg(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != 2 || len(batch.Envs()) != 2 {
+		t.Fatalf("Len/Envs = %d/%d, want 2/2", batch.Len(), len(batch.Envs()))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched actions length did not panic")
+		}
+	}()
+	batch.Step([]float64{0})
+}
+
+// batchRunSummary is one worker's per-lane outcome fingerprint.
+type batchRunSummary struct {
+	doneStep  []int
+	deviation []float64
+	reason    []string
+}
+
+// runBatchEpisode drives one fresh BatchEnv through a full episode with the
+// shared deterministic action streams and fingerprints every lane.
+func runBatchEpisode(t *testing.T, cfgs []EnvConfig, maxSteps int) batchRunSummary {
+	t.Helper()
+	batch, err := NewBatchDeviationEnv(cfgs)
+	if err != nil {
+		t.Error(err)
+		return batchRunSummary{}
+	}
+	n := batch.Len()
+	sum := batchRunSummary{
+		doneStep:  make([]int, n),
+		deviation: make([]float64, n),
+		reason:    make([]string, n),
+	}
+	for i := range sum.doneStep {
+		sum.doneStep[i] = -1
+	}
+	batch.Reset()
+	for step := 0; step < maxSteps && !batch.AllDone(); step++ {
+		actions := make([]float64, n)
+		for k := range actions {
+			actions[k] = laneAction(k, step)
+		}
+		_, _, done := batch.Step(actions)
+		for k := range done {
+			if done[k] && sum.doneStep[k] < 0 {
+				sum.doneStep[k] = step
+				sum.deviation[k] = batch.Lane(k).PathDistance()
+				_, sum.reason[k] = batch.Lane(k).Firmware().Quad().Crashed()
+			}
+		}
+	}
+	return sum
+}
+
+// TestBatchEnvParallelWorkers runs independent batched rollouts concurrently
+// under the race detector at 1, 2 and 8 workers and checks every worker
+// reproduces the identical per-lane outcome: batches share no hidden state.
+func TestBatchEnvParallelWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full firmware episodes")
+	}
+	const lanes = 2
+	const maxSteps = 120
+	cfgs := make([]EnvConfig, lanes)
+	for k := range cfgs {
+		cfgs[k] = batchLaneCfg(mathx.DeriveSeed(11, int64(k+1)))
+	}
+	want := runBatchEpisode(t, cfgs, maxSteps)
+	for _, workers := range []int{1, 2, 8} {
+		got := make([]batchRunSummary, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				got[w] = runBatchEpisode(t, cfgs, maxSteps)
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			for k := 0; k < lanes; k++ {
+				if got[w].doneStep[k] != want.doneStep[k] ||
+					got[w].deviation[k] != want.deviation[k] ||
+					got[w].reason[k] != want.reason[k] {
+					t.Fatalf("workers=%d worker %d lane %d: (%d, %v, %q) vs baseline (%d, %v, %q)",
+						workers, w, k,
+						got[w].doneStep[k], got[w].deviation[k], got[w].reason[k],
+						want.doneStep[k], want.deviation[k], want.reason[k])
+				}
+			}
+		}
+	}
+}

@@ -83,6 +83,11 @@ type baseEnv struct {
 	ticks   int
 	alarmed bool
 	world   *sim.World
+	// plant, when set, supplies the vehicle each episode's firmware flies —
+	// the BatchEnv hook that points N episodes at lanes of one shared
+	// sim.BatchQuad. It must return a pristine (freshly reset) vehicle so
+	// the episode is bit-identical to the scalar fresh-Quad path.
+	plant func() sim.Vehicle
 
 	// Injection state consumed by the firmware's mid-pipeline hook.
 	pendDelta float64
@@ -98,7 +103,15 @@ func (b *baseEnv) reset() error {
 	if err != nil {
 		return err
 	}
-	if b.world != nil {
+	switch {
+	case b.plant != nil:
+		// Fly an injected plant (a shared-batch lane) instead of the
+		// firmware-built scalar Quad; same sensor seed, same trajectory.
+		fw, err = attack.NewFirmwareWithPlant(b.cfg.Seed+int64(b.episode), b.plant()) //areslint:ignore seedarith golden-pinned
+		if err != nil {
+			return err
+		}
+	case b.world != nil:
 		// Rebuild with the obstacle world.
 		fw, err = newFirmwareWithWorld(b.cfg.Seed+int64(b.episode), b.world) //areslint:ignore seedarith golden-pinned
 		if err != nil {

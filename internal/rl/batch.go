@@ -1,0 +1,90 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// LockstepRollouts runs one episode on every environment simultaneously:
+// all environments reset, then each round every unfinished environment
+// takes one step. With environments backed by lanes of one sim.BatchQuad
+// (core.BatchEnv), the physics for all rollouts runs through the shared
+// structure-of-arrays kernel; environments that finish early simply stop
+// being stepped, exactly as Rollout stops on done.
+//
+// Each environment's episode is bit-identical to Rollout(envs[k],
+// choose[k], maxSteps) run alone, because lanes are independent: the
+// per-lane sequence of chooser calls and env interactions is unchanged,
+// only their interleaving across lanes differs.
+func LockstepRollouts(envs []Env, choose []func(obs []float64) float64, maxSteps int) []Episode {
+	if len(envs) != len(choose) {
+		panic(fmt.Sprintf("rl: %d envs with %d choosers", len(envs), len(choose)))
+	}
+	n := len(envs)
+	eps := make([]Episode, n)
+	obs := make([][]float64, n)
+	done := make([]bool, n)
+	for k, env := range envs {
+		obs[k] = env.Reset()
+	}
+	for step := 0; step < maxSteps; step++ {
+		active := false
+		for k, env := range envs {
+			if done[k] {
+				continue
+			}
+			action := choose[k](obs[k])
+			next, reward, d := env.Step(action)
+			eps[k].Transitions = append(eps[k].Transitions, Transition{
+				Obs:    append([]float64{}, obs[k]...),
+				Action: action,
+				Reward: reward,
+			})
+			eps[k].Return += reward
+			eps[k].Steps++
+			obs[k] = next
+			if d {
+				done[k] = true
+			} else {
+				active = true
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	return eps
+}
+
+// TrainLockstep trains one independent agent per environment, consuming one
+// episode from every environment per training round via LockstepRollouts.
+// It is the batched form of calling agents[k].Train(envs[k], episodes,
+// maxSteps) for every k: each agent's sequence of policy samples, episodes
+// and updates is unchanged, so per-agent results are bit-identical to the
+// scalar training loop.
+func TrainLockstep(agents []*Reinforce, envs []Env, episodes, maxSteps int) []*TrainResult {
+	if len(agents) != len(envs) {
+		panic(fmt.Sprintf("rl: %d agents with %d envs", len(agents), len(envs)))
+	}
+	n := len(agents)
+	results := make([]*TrainResult, n)
+	choose := make([]func(obs []float64) float64, n)
+	for k, agent := range agents {
+		results[k] = &TrainResult{BestReturn: math.Inf(-1), BestEpisode: -1}
+		choose[k] = agent.Policy.Sample
+	}
+	for e := 0; e < episodes; e++ {
+		eps := LockstepRollouts(envs, choose, maxSteps)
+		for k, agent := range agents {
+			agent.Update(eps[k])
+			res := results[k]
+			res.Returns = append(res.Returns, eps[k].Return)
+			if eps[k].Return > res.BestReturn {
+				res.BestReturn = eps[k].Return
+				res.BestEpisode = e
+			}
+			res.Episodes++
+		}
+	}
+	return results
+}

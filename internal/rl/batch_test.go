@@ -1,0 +1,157 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+// toyEnv is a deterministic environment whose dynamics depend on a per-env
+// parameter, so lanes evolve (and finish) differently.
+type toyEnv struct {
+	gain  float64
+	limit int
+	state float64
+	steps int
+}
+
+func (e *toyEnv) Reset() []float64 {
+	e.state = 1
+	e.steps = 0
+	return []float64{e.state}
+}
+
+func (e *toyEnv) Step(action float64) ([]float64, float64, bool) {
+	e.state = 0.9*e.state + e.gain*action
+	e.steps++
+	reward := -math.Abs(e.state - 0.5)
+	done := e.steps >= e.limit || math.Abs(e.state) > 10
+	return []float64{e.state}, reward, done
+}
+
+func (e *toyEnv) ObservationSize() int           { return 1 }
+func (e *toyEnv) ActionBounds() (lo, hi float64) { return -1, 1 }
+
+func episodesEqual(a, b Episode) bool {
+	if a.Return != b.Return || a.Steps != b.Steps || len(a.Transitions) != len(b.Transitions) {
+		return false
+	}
+	for i := range a.Transitions {
+		ta, tb := a.Transitions[i], b.Transitions[i]
+		if ta.Action != tb.Action || ta.Reward != tb.Reward || len(ta.Obs) != len(tb.Obs) {
+			return false
+		}
+		for j := range ta.Obs {
+			if ta.Obs[j] != tb.Obs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestLockstepRolloutsEquivalence checks each lockstep lane reproduces the
+// solo Rollout bit-for-bit, including lanes that finish on different steps.
+func TestLockstepRolloutsEquivalence(t *testing.T) {
+	const n = 6
+	mkEnvs := func() []Env {
+		envs := make([]Env, n)
+		for k := 0; k < n; k++ {
+			envs[k] = &toyEnv{gain: 0.5 + 0.3*float64(k), limit: 10 + 7*k}
+		}
+		return envs
+	}
+	mkChoosers := func() []func([]float64) float64 {
+		cs := make([]func([]float64) float64, n)
+		for k := 0; k < n; k++ {
+			p := NewGaussianPolicy(1, -1, 1, int64(1000+k))
+			cs[k] = p.Sample
+		}
+		return cs
+	}
+	lockstep := LockstepRollouts(mkEnvs(), mkChoosers(), 100)
+	solo := make([]Episode, n)
+	soloEnvs, soloChoose := mkEnvs(), mkChoosers()
+	for k := 0; k < n; k++ {
+		solo[k] = Rollout(soloEnvs[k], soloChoose[k], 100)
+	}
+	lengths := map[int]bool{}
+	for k := 0; k < n; k++ {
+		if !episodesEqual(lockstep[k], solo[k]) {
+			t.Fatalf("lane %d: lockstep episode diverged from solo rollout (steps %d vs %d, return %v vs %v)",
+				k, lockstep[k].Steps, solo[k].Steps, lockstep[k].Return, solo[k].Return)
+		}
+		lengths[lockstep[k].Steps] = true
+	}
+	if len(lengths) < 2 {
+		t.Fatal("all lanes finished on the same step; staggered-completion case not exercised")
+	}
+}
+
+// TestTrainLockstepEquivalence checks per-agent lockstep training matches
+// the scalar Train loop bit-for-bit: same returns trajectory, same learned
+// weights.
+func TestTrainLockstepEquivalence(t *testing.T) {
+	const n = 4
+	const episodes, maxSteps = 12, 25
+	mkAgents := func() []*Reinforce {
+		agents := make([]*Reinforce, n)
+		for k := 0; k < n; k++ {
+			agents[k] = NewReinforce(1, -1, 1, int64(500+k))
+		}
+		return agents
+	}
+	mkEnvs := func() []Env {
+		envs := make([]Env, n)
+		for k := 0; k < n; k++ {
+			envs[k] = &toyEnv{gain: 0.4 + 0.2*float64(k), limit: maxSteps - k}
+		}
+		return envs
+	}
+
+	lockAgents := mkAgents()
+	lockRes := TrainLockstep(lockAgents, mkEnvs(), episodes, maxSteps)
+
+	soloAgents := mkAgents()
+	soloEnvs := mkEnvs()
+	for k := 0; k < n; k++ {
+		res := soloAgents[k].Train(soloEnvs[k], episodes, maxSteps)
+		if res.BestReturn != lockRes[k].BestReturn || res.BestEpisode != lockRes[k].BestEpisode ||
+			res.Episodes != lockRes[k].Episodes {
+			t.Fatalf("agent %d: result summary diverged: lockstep %+v vs solo %+v", k, lockRes[k], res)
+		}
+		for e := range res.Returns {
+			if res.Returns[e] != lockRes[k].Returns[e] {
+				t.Fatalf("agent %d episode %d: return %v vs solo %v", k, e, lockRes[k].Returns[e], res.Returns[e])
+			}
+		}
+		for i := range soloAgents[k].Policy.W {
+			if soloAgents[k].Policy.W[i] != lockAgents[k].Policy.W[i] {
+				t.Fatalf("agent %d: learned weight %d diverged: %v vs %v",
+					k, i, lockAgents[k].Policy.W[i], soloAgents[k].Policy.W[i])
+			}
+		}
+		if soloAgents[k].Policy.Sigma != lockAgents[k].Policy.Sigma {
+			t.Fatalf("agent %d: sigma diverged", k)
+		}
+	}
+}
+
+// TestLockstepRolloutsValidation covers the mismatched-lengths panic.
+func TestLockstepRolloutsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched envs/choosers did not panic")
+		}
+	}()
+	LockstepRollouts(make([]Env, 2), make([]func([]float64) float64, 3), 10)
+}
+
+// TestTrainLockstepValidation covers the mismatched agents/envs panic.
+func TestTrainLockstepValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched agents/envs did not panic")
+		}
+	}()
+	TrainLockstep(make([]*Reinforce, 1), make([]Env, 2), 1, 1)
+}

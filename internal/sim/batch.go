@@ -1,0 +1,661 @@
+package sim
+
+// BatchQuad is the structure-of-arrays batch of N independent quadrotors
+// stepping in lockstep: one backing slice per state component (positions,
+// velocities, attitude quaternions, body rates, the four motor channels,
+// battery charge) so a multi-trial campaign cell or RL training batch pays
+// the RK4 integration cost once per lane in a tight, allocation-free loop
+// instead of once per Quad with full per-stage struct traffic.
+//
+// The contract is bit-identity: lane k of a batch stepped with a command
+// stream is bit-for-bit the trajectory a scalar Quad produces from the same
+// stream — same crash tick, same crash reason, same battery trace. The
+// kernel below is the scalar RK4 with every mathx.Vec3/Quat call written
+// out in the scalar path's exact operation order (amd64 Go does not fuse
+// multiply-adds, so flattening is bit-preserving); the equivalence suite in
+// batch_test.go enforces this at N ∈ {1, 8, 64}. Two deliberate,
+// outcome-identical deviations from the scalar code path:
+//
+//   - The tip-over Euler conversion runs only when the lane is below 0.3 m
+//     altitude. The scalar path computes it unconditionally but consults it
+//     only below that altitude; Euler() is pure, so crash decisions are
+//     identical.
+//   - Zero-valued quaternion-product terms are kept as written (x*0) rather
+//     than folded away, so signed-zero propagation matches the scalar path.
+//
+// Lanes retire independently: a crashed lane freezes exactly as a crashed
+// Quad does, and callers can Retire lanes whose episode completed; both are
+// masked out of subsequent Steps.
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// BatchQuad holds N quadrotor lanes in structure-of-arrays layout.
+type BatchQuad struct {
+	params VehicleParams
+
+	pos, vel, omega, lastAccel []mathx.Vec3
+	att                        []mathx.Quat
+	motor                      [4][]float64
+	battRemain, battVolt       []float64
+	battAmp                    []float64
+	timeS                      []float64
+	crashed                    []bool
+	crashInfo                  []string
+	retired                    []bool
+
+	winds []*Wind
+	world *World
+
+	// Derived constants hoisted out of the kernel.
+	l, adx, ady, adz             float64
+	ldx, ldy, ldz, ix, iy, iz    float64
+	mg, invM, tau, maxT, coeff   float64
+	hover4, hoverI, capmAh, nomV float64
+}
+
+// BatchOption configures a BatchQuad at construction time.
+type BatchOption interface{ apply(*BatchQuad) }
+
+type batchOptionFunc func(*BatchQuad)
+
+func (f batchOptionFunc) apply(b *BatchQuad) { f(b) }
+
+// WithBatchWorld installs a shared world (ground plane plus obstacles).
+func WithBatchWorld(w *World) BatchOption {
+	return batchOptionFunc(func(b *BatchQuad) {
+		if w != nil {
+			b.world = w
+		}
+	})
+}
+
+// WithBatchWinds installs per-lane wind models; nil entries leave a lane
+// windless. Lanes must not share a *Wind: the gust PRNG would interleave.
+func WithBatchWinds(ws []*Wind) BatchOption {
+	return batchOptionFunc(func(b *BatchQuad) { b.winds = ws })
+}
+
+// NewBatchQuad creates n quadrotor lanes resting on the ground at the
+// origin, each equivalent to a freshly constructed scalar Quad.
+func NewBatchQuad(params VehicleParams, n int, opts ...BatchOption) (*BatchQuad, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: batch size %d must be positive", n)
+	}
+	b := &BatchQuad{
+		params:     params,
+		pos:        make([]mathx.Vec3, n),
+		vel:        make([]mathx.Vec3, n),
+		omega:      make([]mathx.Vec3, n),
+		lastAccel:  make([]mathx.Vec3, n),
+		att:        make([]mathx.Quat, n),
+		battRemain: make([]float64, n),
+		battVolt:   make([]float64, n),
+		battAmp:    make([]float64, n),
+		timeS:      make([]float64, n),
+		crashed:    make([]bool, n),
+		crashInfo:  make([]string, n),
+		retired:    make([]bool, n),
+		world:      &World{},
+	}
+	for i := range b.motor {
+		b.motor[i] = make([]float64, n)
+	}
+	for k := 0; k < n; k++ {
+		b.att[k] = mathx.QuatIdentity()
+		b.battRemain[k] = params.BatteryCapacity
+		b.battVolt[k] = params.BatteryVoltage
+	}
+	b.l = params.ArmLength / math.Sqrt2
+	b.adx, b.ady, b.adz = params.AngularDrag.X, params.AngularDrag.Y, params.AngularDrag.Z
+	b.ldx, b.ldy, b.ldz = params.LinearDrag.X, params.LinearDrag.Y, params.LinearDrag.Z
+	b.ix, b.iy, b.iz = params.Inertia.X, params.Inertia.Y, params.Inertia.Z
+	b.mg = params.Mass * Gravity
+	b.invM = 1 / params.Mass
+	b.tau = params.MotorTau
+	b.maxT = params.MaxThrustPerMotor
+	b.coeff = params.TorqueCoeff
+	b.hover4 = 4 * params.HoverThrottle()
+	b.hoverI = params.HoverCurrent
+	b.capmAh = params.BatteryCapacity
+	b.nomV = params.BatteryVoltage
+	for _, o := range opts {
+		o.apply(b)
+	}
+	if b.winds != nil && len(b.winds) != n {
+		return nil, fmt.Errorf("sim: batch of %d lanes got %d winds", n, len(b.winds))
+	}
+	return b, nil
+}
+
+// Params returns the shared vehicle parameters.
+func (b *BatchQuad) Params() VehicleParams { return b.params }
+
+// Len returns the number of lanes.
+func (b *BatchQuad) Len() int { return len(b.pos) }
+
+// World returns the shared world.
+func (b *BatchQuad) World() *World { return b.world }
+
+// Active returns the number of lanes still stepping (neither crashed nor
+// retired).
+func (b *BatchQuad) Active() int {
+	n := 0
+	for k := range b.crashed {
+		if !b.crashed[k] && !b.retired[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// Retire masks a lane out of subsequent Steps (an episode that completed
+// without crashing). Retirement is independent of crash state.
+func (b *BatchQuad) Retire(k int) { b.retired[k] = true }
+
+// Retired reports whether a lane has been retired.
+func (b *BatchQuad) Retired(k int) bool { return b.retired[k] }
+
+// Step advances every active lane by dt with per-lane motor commands.
+// len(cmds) must equal Len; the call is allocation-free.
+func (b *BatchQuad) Step(cmds [][4]float64, dt float64) {
+	if len(cmds) != len(b.pos) {
+		panic(fmt.Sprintf("sim: batch of %d lanes stepped with %d commands", len(b.pos), len(cmds)))
+	}
+	for k := range cmds {
+		if b.retired[k] {
+			continue
+		}
+		b.stepLane(k, cmds[k][0], cmds[k][1], cmds[k][2], cmds[k][3], dt)
+	}
+}
+
+// StepLane advances a single lane (the per-lane entry point used when
+// control stacks interleave with physics). Retired lanes do not move.
+func (b *BatchQuad) StepLane(k int, cmd [4]float64, dt float64) {
+	if b.retired[k] {
+		return
+	}
+	b.stepLane(k, cmd[0], cmd[1], cmd[2], cmd[3], dt)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// stepLane is the flattened scalar-equivalent RK4 kernel. See the file
+// comment for the determinism contract; batch_test.go holds the proof.
+func (b *BatchQuad) stepLane(k int, c0, c1, c2, c3, dt float64) {
+	if b.crashed[k] {
+		return
+	}
+	if !finite(dt) || !finite(c0) || !finite(c1) || !finite(c2) || !finite(c3) {
+		b.crashLane(k, nonFiniteStep)
+		return
+	}
+	if dt <= 0 {
+		return
+	}
+	c0, c1, c2, c3 = clamp01(c0), clamp01(c1), clamp01(c2), clamp01(c3)
+	if b.battRemain[k] <= 0 {
+		c0, c1, c2, c3 = 0, 0, 0, 0
+	}
+	windX, windY, windZ := 0.0, 0.0, 0.0
+	if b.winds != nil && b.winds[k] != nil {
+		w := b.winds[k].Step(dt)
+		windX, windY, windZ = w.X, w.Y, w.Z
+	}
+	pos := b.pos[k]
+	velv := b.vel[k]
+	q0 := b.att[k]
+	om := b.omega[k]
+	m0, m1, m2, m3 := b.motor[0][k], b.motor[1][k], b.motor[2][k], b.motor[3][k]
+	px, py, pz := pos.X, pos.Y, pos.Z
+	vx, vy, vz := velv.X, velv.Y, velv.Z
+	qw0, qx0, qy0, qz0 := q0.W, q0.X, q0.Y, q0.Z
+	wx0, wy0, wz0 := om.X, om.Y, om.Z
+
+	tau := b.tau
+	maxT := b.maxT
+	l := b.l
+	coeff := b.coeff
+	adx, ady, adz := b.adx, b.ady, b.adz
+	ldx, ldy, ldz := b.ldx, b.ldy, b.ldz
+	ix, iy, iz := b.ix, b.iy, b.iz
+	mg := b.mg
+	invM := b.invM
+
+	// Stage 1: derivative at (vx, qw0.., wx0.., m0..). Motor lag,
+	// thrust/torque, quaternion-rotated thrust, drag, Euler's equation —
+	// the exact operation order of Quad.dynamics with the Vec3/Quat calls
+	// written out.
+	dm10 := (c0 - m0) / tau
+	dm11 := (c1 - m1) / tau
+	dm12 := (c2 - m2) / tau
+	dm13 := (c3 - m3) / tau
+	t10 := maxT * m0
+	t11 := maxT * m1
+	t12 := maxT * m2
+	t13 := maxT * m3
+	total1 := t10 + t11 + t12 + t13
+	rollT1 := l * (-t10 + t11 + t12 - t13)
+	pitchT1 := l * (t10 - t11 + t12 - t13)
+	yawT1 := coeff * (t10 + t11 - t12 - t13)
+	tqx1 := rollT1 - adx*wx0
+	tqy1 := pitchT1 - ady*wy0
+	tqz1 := yawT1 - adz*wz0
+	tz1 := -total1
+	aW1 := qw0*0 - qx0*0 - qy0*0 - qz0*tz1
+	aX1 := qw0*0 + qx0*0 + qy0*tz1 - qz0*0
+	aY1 := qw0*0 - qx0*tz1 + qy0*0 + qz0*0
+	aZ1 := qw0*tz1 + qx0*0 - qy0*0 + qz0*0
+	rX1 := aW1*-qx0 + aX1*qw0 + aY1*-qz0 - aZ1*-qy0
+	rY1 := aW1*-qy0 - aX1*-qz0 + aY1*qw0 + aZ1*-qx0
+	rZ1 := aW1*-qz0 + aX1*-qy0 - aY1*-qx0 + aZ1*qw0
+	a1x := (0 + rX1 + -(ldx * (vx - windX))) * invM
+	a1y := (0 + rY1 + -(ldy * (vy - windY))) * invM
+	a1z := (mg + rZ1 + -(ldz * (vz - windZ))) * invM
+	iwx1 := ix * wx0
+	iwy1 := iy * wy0
+	iwz1 := iz * wz0
+	al1x := (tqx1 - (wy0*iwz1 - wz0*iwy1)) / ix
+	al1y := (tqy1 - (wz0*iwx1 - wx0*iwz1)) / iy
+	al1z := (tqz1 - (wx0*iwy1 - wy0*iwx1)) / iz
+	h := dt / 2
+	s2vx, s2vy, s2vz := vx+a1x*h, vy+a1y*h, vz+a1z*h
+	var s2qw, s2qx, s2qy, s2qz float64
+	// Quat.Integrate(wx0.., h) written out: dq = q⊗(0, ω), half-step,
+	// then normalize (zero norm snaps to identity, as mathx does).
+	dqAw := qw0*0 - qx0*wx0 - qy0*wy0 - qz0*wz0
+	dqAx := qw0*wx0 + qx0*0 + qy0*wz0 - qz0*wy0
+	dqAy := qw0*wy0 - qx0*wz0 + qy0*0 + qz0*wx0
+	dqAz := qw0*wz0 + qx0*wy0 - qy0*wx0 + qz0*0
+	s2qw = qw0 + dqAw*0.5*h
+	s2qx = qx0 + dqAx*0.5*h
+	s2qy = qy0 + dqAy*0.5*h
+	s2qz = qz0 + dqAz*0.5*h
+	if nA := math.Sqrt(s2qw*s2qw + s2qx*s2qx + s2qy*s2qy + s2qz*s2qz); nA == 0 {
+		s2qw, s2qx, s2qy, s2qz = 1, 0, 0, 0
+	} else {
+		s2qw, s2qx, s2qy, s2qz = s2qw/nA, s2qx/nA, s2qy/nA, s2qz/nA
+	}
+	s2wx, s2wy, s2wz := wx0+al1x*h, wy0+al1y*h, wz0+al1z*h
+	s2m0 := clamp01(m0 + dm10*h)
+	s2m1 := clamp01(m1 + dm11*h)
+	s2m2 := clamp01(m2 + dm12*h)
+	s2m3 := clamp01(m3 + dm13*h)
+	// Stage 2: derivative at (s2vx, s2qw.., s2wx.., s2m0..). Motor lag,
+	// thrust/torque, quaternion-rotated thrust, drag, Euler's equation —
+	// the exact operation order of Quad.dynamics with the Vec3/Quat calls
+	// written out.
+	dm20 := (c0 - s2m0) / tau
+	dm21 := (c1 - s2m1) / tau
+	dm22 := (c2 - s2m2) / tau
+	dm23 := (c3 - s2m3) / tau
+	t20 := maxT * s2m0
+	t21 := maxT * s2m1
+	t22 := maxT * s2m2
+	t23 := maxT * s2m3
+	total2 := t20 + t21 + t22 + t23
+	rollT2 := l * (-t20 + t21 + t22 - t23)
+	pitchT2 := l * (t20 - t21 + t22 - t23)
+	yawT2 := coeff * (t20 + t21 - t22 - t23)
+	tqx2 := rollT2 - adx*s2wx
+	tqy2 := pitchT2 - ady*s2wy
+	tqz2 := yawT2 - adz*s2wz
+	tz2 := -total2
+	aW2 := s2qw*0 - s2qx*0 - s2qy*0 - s2qz*tz2
+	aX2 := s2qw*0 + s2qx*0 + s2qy*tz2 - s2qz*0
+	aY2 := s2qw*0 - s2qx*tz2 + s2qy*0 + s2qz*0
+	aZ2 := s2qw*tz2 + s2qx*0 - s2qy*0 + s2qz*0
+	rX2 := aW2*-s2qx + aX2*s2qw + aY2*-s2qz - aZ2*-s2qy
+	rY2 := aW2*-s2qy - aX2*-s2qz + aY2*s2qw + aZ2*-s2qx
+	rZ2 := aW2*-s2qz + aX2*-s2qy - aY2*-s2qx + aZ2*s2qw
+	a2x := (0 + rX2 + -(ldx * (s2vx - windX))) * invM
+	a2y := (0 + rY2 + -(ldy * (s2vy - windY))) * invM
+	a2z := (mg + rZ2 + -(ldz * (s2vz - windZ))) * invM
+	iwx2 := ix * s2wx
+	iwy2 := iy * s2wy
+	iwz2 := iz * s2wz
+	al2x := (tqx2 - (s2wy*iwz2 - s2wz*iwy2)) / ix
+	al2y := (tqy2 - (s2wz*iwx2 - s2wx*iwz2)) / iy
+	al2z := (tqz2 - (s2wx*iwy2 - s2wy*iwx2)) / iz
+	s3vx, s3vy, s3vz := vx+a2x*h, vy+a2y*h, vz+a2z*h
+	var s3qw, s3qx, s3qy, s3qz float64
+	// Quat.Integrate(s2wx.., h) written out: dq = q⊗(0, ω), half-step,
+	// then normalize (zero norm snaps to identity, as mathx does).
+	dqBw := qw0*0 - qx0*s2wx - qy0*s2wy - qz0*s2wz
+	dqBx := qw0*s2wx + qx0*0 + qy0*s2wz - qz0*s2wy
+	dqBy := qw0*s2wy - qx0*s2wz + qy0*0 + qz0*s2wx
+	dqBz := qw0*s2wz + qx0*s2wy - qy0*s2wx + qz0*0
+	s3qw = qw0 + dqBw*0.5*h
+	s3qx = qx0 + dqBx*0.5*h
+	s3qy = qy0 + dqBy*0.5*h
+	s3qz = qz0 + dqBz*0.5*h
+	if nB := math.Sqrt(s3qw*s3qw + s3qx*s3qx + s3qy*s3qy + s3qz*s3qz); nB == 0 {
+		s3qw, s3qx, s3qy, s3qz = 1, 0, 0, 0
+	} else {
+		s3qw, s3qx, s3qy, s3qz = s3qw/nB, s3qx/nB, s3qy/nB, s3qz/nB
+	}
+	s3wx, s3wy, s3wz := wx0+al2x*h, wy0+al2y*h, wz0+al2z*h
+	s3m0 := clamp01(m0 + dm20*h)
+	s3m1 := clamp01(m1 + dm21*h)
+	s3m2 := clamp01(m2 + dm22*h)
+	s3m3 := clamp01(m3 + dm23*h)
+	// Stage 3: derivative at (s3vx, s3qw.., s3wx.., s3m0..). Motor lag,
+	// thrust/torque, quaternion-rotated thrust, drag, Euler's equation —
+	// the exact operation order of Quad.dynamics with the Vec3/Quat calls
+	// written out.
+	dm30 := (c0 - s3m0) / tau
+	dm31 := (c1 - s3m1) / tau
+	dm32 := (c2 - s3m2) / tau
+	dm33 := (c3 - s3m3) / tau
+	t30 := maxT * s3m0
+	t31 := maxT * s3m1
+	t32 := maxT * s3m2
+	t33 := maxT * s3m3
+	total3 := t30 + t31 + t32 + t33
+	rollT3 := l * (-t30 + t31 + t32 - t33)
+	pitchT3 := l * (t30 - t31 + t32 - t33)
+	yawT3 := coeff * (t30 + t31 - t32 - t33)
+	tqx3 := rollT3 - adx*s3wx
+	tqy3 := pitchT3 - ady*s3wy
+	tqz3 := yawT3 - adz*s3wz
+	tz3 := -total3
+	aW3 := s3qw*0 - s3qx*0 - s3qy*0 - s3qz*tz3
+	aX3 := s3qw*0 + s3qx*0 + s3qy*tz3 - s3qz*0
+	aY3 := s3qw*0 - s3qx*tz3 + s3qy*0 + s3qz*0
+	aZ3 := s3qw*tz3 + s3qx*0 - s3qy*0 + s3qz*0
+	rX3 := aW3*-s3qx + aX3*s3qw + aY3*-s3qz - aZ3*-s3qy
+	rY3 := aW3*-s3qy - aX3*-s3qz + aY3*s3qw + aZ3*-s3qx
+	rZ3 := aW3*-s3qz + aX3*-s3qy - aY3*-s3qx + aZ3*s3qw
+	a3x := (0 + rX3 + -(ldx * (s3vx - windX))) * invM
+	a3y := (0 + rY3 + -(ldy * (s3vy - windY))) * invM
+	a3z := (mg + rZ3 + -(ldz * (s3vz - windZ))) * invM
+	iwx3 := ix * s3wx
+	iwy3 := iy * s3wy
+	iwz3 := iz * s3wz
+	al3x := (tqx3 - (s3wy*iwz3 - s3wz*iwy3)) / ix
+	al3y := (tqy3 - (s3wz*iwx3 - s3wx*iwz3)) / iy
+	al3z := (tqz3 - (s3wx*iwy3 - s3wy*iwx3)) / iz
+	s4vx, s4vy, s4vz := vx+a3x*dt, vy+a3y*dt, vz+a3z*dt
+	var s4qw, s4qx, s4qy, s4qz float64
+	// Quat.Integrate(s3wx.., dt) written out: dq = q⊗(0, ω), half-step,
+	// then normalize (zero norm snaps to identity, as mathx does).
+	dqCw := qw0*0 - qx0*s3wx - qy0*s3wy - qz0*s3wz
+	dqCx := qw0*s3wx + qx0*0 + qy0*s3wz - qz0*s3wy
+	dqCy := qw0*s3wy - qx0*s3wz + qy0*0 + qz0*s3wx
+	dqCz := qw0*s3wz + qx0*s3wy - qy0*s3wx + qz0*0
+	s4qw = qw0 + dqCw*0.5*dt
+	s4qx = qx0 + dqCx*0.5*dt
+	s4qy = qy0 + dqCy*0.5*dt
+	s4qz = qz0 + dqCz*0.5*dt
+	if nC := math.Sqrt(s4qw*s4qw + s4qx*s4qx + s4qy*s4qy + s4qz*s4qz); nC == 0 {
+		s4qw, s4qx, s4qy, s4qz = 1, 0, 0, 0
+	} else {
+		s4qw, s4qx, s4qy, s4qz = s4qw/nC, s4qx/nC, s4qy/nC, s4qz/nC
+	}
+	s4wx, s4wy, s4wz := wx0+al3x*dt, wy0+al3y*dt, wz0+al3z*dt
+	s4m0 := clamp01(m0 + dm30*dt)
+	s4m1 := clamp01(m1 + dm31*dt)
+	s4m2 := clamp01(m2 + dm32*dt)
+	s4m3 := clamp01(m3 + dm33*dt)
+	// Stage 4: derivative at (s4vx, s4qw.., s4wx.., s4m0..). Motor lag,
+	// thrust/torque, quaternion-rotated thrust, drag, Euler's equation —
+	// the exact operation order of Quad.dynamics with the Vec3/Quat calls
+	// written out.
+	dm40 := (c0 - s4m0) / tau
+	dm41 := (c1 - s4m1) / tau
+	dm42 := (c2 - s4m2) / tau
+	dm43 := (c3 - s4m3) / tau
+	t40 := maxT * s4m0
+	t41 := maxT * s4m1
+	t42 := maxT * s4m2
+	t43 := maxT * s4m3
+	total4 := t40 + t41 + t42 + t43
+	rollT4 := l * (-t40 + t41 + t42 - t43)
+	pitchT4 := l * (t40 - t41 + t42 - t43)
+	yawT4 := coeff * (t40 + t41 - t42 - t43)
+	tqx4 := rollT4 - adx*s4wx
+	tqy4 := pitchT4 - ady*s4wy
+	tqz4 := yawT4 - adz*s4wz
+	tz4 := -total4
+	aW4 := s4qw*0 - s4qx*0 - s4qy*0 - s4qz*tz4
+	aX4 := s4qw*0 + s4qx*0 + s4qy*tz4 - s4qz*0
+	aY4 := s4qw*0 - s4qx*tz4 + s4qy*0 + s4qz*0
+	aZ4 := s4qw*tz4 + s4qx*0 - s4qy*0 + s4qz*0
+	rX4 := aW4*-s4qx + aX4*s4qw + aY4*-s4qz - aZ4*-s4qy
+	rY4 := aW4*-s4qy - aX4*-s4qz + aY4*s4qw + aZ4*-s4qx
+	rZ4 := aW4*-s4qz + aX4*-s4qy - aY4*-s4qx + aZ4*s4qw
+	a4x := (0 + rX4 + -(ldx * (s4vx - windX))) * invM
+	a4y := (0 + rY4 + -(ldy * (s4vy - windY))) * invM
+	a4z := (mg + rZ4 + -(ldz * (s4vz - windZ))) * invM
+	iwx4 := ix * s4wx
+	iwy4 := iy * s4wy
+	iwz4 := iz * s4wz
+	al4x := (tqx4 - (s4wy*iwz4 - s4wz*iwy4)) / ix
+	al4y := (tqy4 - (s4wz*iwx4 - s4wx*iwz4)) / iy
+	al4z := (tqz4 - (s4wx*iwy4 - s4wy*iwx4)) / iz
+	// RK4 combine, in Quad.integrate's exact association:
+	// (((k1 + 2·k2) + 2·k3) + k4) · (1/6), then · dt.
+	const sixth = 1.0 / 6
+	npx := px + (vx+s2vx*2+s3vx*2+s4vx)*sixth*dt
+	npy := py + (vy+s2vy*2+s3vy*2+s4vy)*sixth*dt
+	npz := pz + (vz+s2vz*2+s3vz*2+s4vz)*sixth*dt
+	nvx := vx + (a1x+a2x*2+a3x*2+a4x)*sixth*dt
+	nvy := vy + (a1y+a2y*2+a3y*2+a4y)*sixth*dt
+	nvz := vz + (a1z+a2z*2+a3z*2+a4z)*sixth*dt
+	nwx := wx0 + (al1x+al2x*2+al3x*2+al4x)*sixth*dt
+	nwy := wy0 + (al1y+al2y*2+al3y*2+al4y)*sixth*dt
+	nwz := wz0 + (al1z+al2z*2+al3z*2+al4z)*sixth*dt
+	avgOx := (wx0 + s2wx*2 + s3wx*2 + s4wx) * sixth
+	avgOy := (wy0 + s2wy*2 + s3wy*2 + s4wy) * sixth
+	avgOz := (wz0 + s2wz*2 + s3wz*2 + s4wz) * sixth
+	var nqw, nqx, nqy, nqz float64
+	// Quat.Integrate(avgOx.., dt) written out: dq = q⊗(0, ω), half-step,
+	// then normalize (zero norm snaps to identity, as mathx does).
+	dqDw := qw0*0 - qx0*avgOx - qy0*avgOy - qz0*avgOz
+	dqDx := qw0*avgOx + qx0*0 + qy0*avgOz - qz0*avgOy
+	dqDy := qw0*avgOy - qx0*avgOz + qy0*0 + qz0*avgOx
+	dqDz := qw0*avgOz + qx0*avgOy - qy0*avgOx + qz0*0
+	nqw = qw0 + dqDw*0.5*dt
+	nqx = qx0 + dqDx*0.5*dt
+	nqy = qy0 + dqDy*0.5*dt
+	nqz = qz0 + dqDz*0.5*dt
+	if nD := math.Sqrt(nqw*nqw + nqx*nqx + nqy*nqy + nqz*nqz); nD == 0 {
+		nqw, nqx, nqy, nqz = 1, 0, 0, 0
+	} else {
+		nqw, nqx, nqy, nqz = nqw/nD, nqx/nD, nqy/nD, nqz/nD
+	}
+	nm0 := clamp01(m0 + (dm10+2*dm20+2*dm30+dm40)/6*dt)
+	nm1 := clamp01(m1 + (dm11+2*dm21+2*dm31+dm41)/6*dt)
+	nm2 := clamp01(m2 + (dm12+2*dm22+2*dm32+dm42)/6*dt)
+	nm3 := clamp01(m3 + (dm13+2*dm23+2*dm33+dm43)/6*dt)
+
+	// Ground support, exactly as Quad.integrate: record the pre-clamp sink
+	// rate, zero vertical motion, halve horizontal speed.
+	impact := 0.0
+	if npz > 0 {
+		if nvz > 0 {
+			impact = nvz
+			nvz = 0
+		}
+		npz = 0
+		nvx *= 0.5
+		nvy *= 0.5
+	}
+
+	b.lastAccel[k] = mathx.Vec3{X: (nvx - vx) * (1 / dt), Y: (nvy - vy) * (1 / dt), Z: (nvz - vz) * (1 / dt)}
+	b.pos[k] = mathx.Vec3{X: npx, Y: npy, Z: npz}
+	b.vel[k] = mathx.Vec3{X: nvx, Y: nvy, Z: nvz}
+	b.att[k] = mathx.Quat{W: nqw, X: nqx, Y: nqy, Z: nqz}
+	b.omega[k] = mathx.Vec3{X: nwx, Y: nwy, Z: nwz}
+	b.motor[0][k], b.motor[1][k], b.motor[2][k], b.motor[3][k] = nm0, nm1, nm2, nm3
+	b.timeS[k] += dt
+
+	// Battery drain from commanded throttle (Quad.currentDraw + drain).
+	sum := c0 + c1 + c2 + c3
+	cur := 0.0
+	if b.hover4 != 0 {
+		cur = b.hoverI * math.Pow(math.Max(sum/b.hover4, 0), 1.5)
+	}
+	b.battAmp[k] = cur
+	b.battRemain[k] -= cur * dt * 1000 / 3600
+	if b.battRemain[k] < 0 {
+		b.battRemain[k] = 0
+	}
+	b.battVolt[k] = b.nomV * (0.8 + 0.2*mathx.Clamp(b.battRemain[k]/b.capmAh, 0, 1))
+
+	// Collision checks in Quad.checkCollisions order: hard ground impact,
+	// tip-over near ground, obstacle contact.
+	if impact > CrashSpeed {
+		b.crashLane(k, fmt.Sprintf("ground impact at %.1f m/s", impact))
+		return
+	}
+	if -npz < 0.3 {
+		sinr := 2 * (nqw*nqx + nqy*nqz)
+		cosr := 1 - 2*(nqx*nqx+nqy*nqy)
+		roll := math.Atan2(sinr, cosr)
+		sinp := 2 * (nqw*nqy - nqz*nqx)
+		var pitch float64
+		switch {
+		case sinp >= 1:
+			pitch = math.Pi / 2
+		case sinp <= -1:
+			pitch = -math.Pi / 2
+		default:
+			pitch = math.Asin(sinp)
+		}
+		if math.Abs(roll) > tipOverRad || math.Abs(pitch) > tipOverRad {
+			b.crashLane(k, "tip-over near ground")
+			return
+		}
+	}
+	if len(b.world.Obstacles) > 0 {
+		if ob, hit := b.world.Hit(b.pos[k]); hit {
+			b.crashLane(k, fmt.Sprintf("collision with obstacle %q", ob.Name))
+			return
+		}
+	}
+}
+
+// crashLane freezes a lane exactly as Quad.crash does.
+func (b *BatchQuad) crashLane(k int, reason string) {
+	b.crashed[k] = true
+	b.crashInfo[k] = reason
+	b.vel[k] = mathx.Vec3{}
+	b.omega[k] = mathx.Vec3{}
+	if b.pos[k].Z > 0 {
+		b.pos[k].Z = 0
+	}
+}
+
+// Lane returns a Vehicle view of lane k. The view aliases the batch arrays:
+// stepping the lane through the view and through Step are the same thing.
+func (b *BatchQuad) Lane(k int) *LaneQuad {
+	if k < 0 || k >= len(b.pos) {
+		panic(fmt.Sprintf("sim: lane %d out of range [0,%d)", k, len(b.pos)))
+	}
+	return &LaneQuad{b: b, k: k}
+}
+
+// LaneQuad adapts one BatchQuad lane to the Vehicle interface so a firmware
+// stack can fly a batch lane exactly as it flies a scalar Quad.
+type LaneQuad struct {
+	b *BatchQuad
+	k int
+}
+
+// State returns a copy of the lane state.
+func (l *LaneQuad) State() State {
+	b, k := l.b, l.k
+	return State{
+		Pos:   b.pos[k],
+		Vel:   b.vel[k],
+		Att:   b.att[k],
+		Omega: b.omega[k],
+		Motor: [4]float64{b.motor[0][k], b.motor[1][k], b.motor[2][k], b.motor[3][k]},
+	}
+}
+
+// SetState overwrites the lane state and clears any crash condition,
+// mirroring Quad.SetState.
+func (l *LaneQuad) SetState(s State) {
+	b, k := l.b, l.k
+	b.pos[k], b.vel[k], b.att[k], b.omega[k] = s.Pos, s.Vel, s.Att, s.Omega
+	for i := range b.motor {
+		b.motor[i][k] = s.Motor[i]
+	}
+	b.crashed[k] = false
+	b.crashInfo[k] = ""
+}
+
+// Step advances this lane only (no-op when retired, like a crashed Quad).
+func (l *LaneQuad) Step(cmd [4]float64, dt float64) { l.b.StepLane(l.k, cmd, dt) }
+
+// Crashed reports whether the lane has crashed and why.
+func (l *LaneQuad) Crashed() (bool, string) { return l.b.crashed[l.k], l.b.crashInfo[l.k] }
+
+// Time returns the lane's simulated time.
+func (l *LaneQuad) Time() float64 { return l.b.timeS[l.k] }
+
+// LastAccel returns the lane's world-frame acceleration over the last step.
+func (l *LaneQuad) LastAccel() mathx.Vec3 { return l.b.lastAccel[l.k] }
+
+// Battery returns the lane's battery status.
+func (l *LaneQuad) Battery() Battery {
+	b, k := l.b, l.k
+	return Battery{
+		CapacitymAh: b.capmAh,
+		RemainmAh:   b.battRemain[k],
+		NominalV:    b.nomV,
+		Voltage:     b.battVolt[k],
+		CurrentA:    b.battAmp[k],
+	}
+}
+
+// World returns the batch's shared world.
+func (l *LaneQuad) World() *World { return l.b.world }
+
+// Index returns the lane number inside the batch.
+func (l *LaneQuad) Index() int { return l.k }
+
+// Reset restores the lane to the pristine state of a freshly constructed
+// Quad at pos: rest, identity attitude, full battery, zero elapsed time and
+// cleared crash/retire flags. Unlike Quad.Reset it also clears LastAccel
+// and the battery current so a reset lane is bit-identical to a new
+// vehicle — which is what episode resets need.
+func (l *LaneQuad) Reset(pos mathx.Vec3) {
+	b, k := l.b, l.k
+	b.pos[k] = pos
+	b.vel[k] = mathx.Vec3{}
+	b.att[k] = mathx.QuatIdentity()
+	b.omega[k] = mathx.Vec3{}
+	for i := range b.motor {
+		b.motor[i][k] = 0
+	}
+	b.lastAccel[k] = mathx.Vec3{}
+	b.battRemain[k] = b.capmAh
+	b.battVolt[k] = b.nomV
+	b.battAmp[k] = 0
+	b.timeS[k] = 0
+	b.crashed[k] = false
+	b.crashInfo[k] = ""
+	b.retired[k] = false
+	if b.winds != nil && b.winds[k] != nil {
+		b.winds[k].Reset()
+	}
+}

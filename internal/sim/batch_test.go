@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ares-cps/ares/internal/mathx"
+)
+
+// laneCmd builds a deterministic per-lane command pattern that exercises
+// transients, asymmetry and near-hover flight without immediately crashing.
+func laneCmd(p VehicleParams, lane, step int) [4]float64 {
+	h := p.HoverThrottle()
+	f := float64((step+37*lane)%997) / 997
+	return [4]float64{
+		h + 0.2*(f-0.5),
+		h - 0.1*(f-0.5),
+		h + 0.05*f,
+		h,
+	}
+}
+
+// assertLaneEqualsQuad compares every observable of batch lane k against the
+// scalar quad bit-for-bit.
+func assertLaneEqualsQuad(t *testing.T, b *BatchQuad, k int, q *Quad, step int) {
+	t.Helper()
+	lane := b.Lane(k)
+	if ls, qs := lane.State(), q.State(); ls != qs {
+		t.Fatalf("lane %d step %d: state diverged\nbatch:  %+v\nscalar: %+v", k, step, ls, qs)
+	}
+	lc, lr := lane.Crashed()
+	qc, qr := q.Crashed()
+	if lc != qc || lr != qr {
+		t.Fatalf("lane %d step %d: crash (%v,%q) vs scalar (%v,%q)", k, step, lc, lr, qc, qr)
+	}
+	if lb, qb := lane.Battery(), q.Battery(); lb != qb {
+		t.Fatalf("lane %d step %d: battery %+v vs scalar %+v", k, step, lb, qb)
+	}
+	if la, qa := lane.LastAccel(), q.LastAccel(); la != qa {
+		t.Fatalf("lane %d step %d: lastAccel %+v vs scalar %+v", k, step, la, qa)
+	}
+	if lt, qt := lane.Time(), q.Time(); lt != qt {
+		t.Fatalf("lane %d step %d: time %v vs scalar %v", k, step, lt, qt)
+	}
+}
+
+// TestBatchQuadEquivalence is the core determinism contract: every lane of a
+// batch is bit-identical to a scalar Quad fed the same command stream, at
+// N ∈ {1, 8, 64}, through crashes and battery depletion.
+func TestBatchQuadEquivalence(t *testing.T) {
+	const dt = 1.0 / 400
+	for _, n := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			p := IRISPlusParams()
+			b, err := NewBatchQuad(p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			quads := make([]*Quad, n)
+			for k := range quads {
+				quads[k], err = NewQuad(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			cmds := make([][4]float64, n)
+			steps := 40000 / n * 4
+			if steps > 40000 {
+				steps = 40000
+			}
+			for i := 0; i < steps; i++ {
+				for k := range cmds {
+					cmds[k] = laneCmd(p, k, i)
+				}
+				b.Step(cmds, dt)
+				for k, q := range quads {
+					q.Step(cmds[k], dt)
+				}
+				if i%500 == 0 || i == steps-1 {
+					for k, q := range quads {
+						assertLaneEqualsQuad(t, b, k, q, i)
+					}
+				}
+			}
+			// Final exact sweep regardless of sampling cadence.
+			for k, q := range quads {
+				assertLaneEqualsQuad(t, b, k, q, steps)
+			}
+		})
+	}
+}
+
+// TestBatchQuadCrashEquivalence drives lanes into a hard crash (full
+// asymmetric throttle tips the vehicle) and checks the crash tick, reason
+// and frozen post-crash state all match the scalar path.
+func TestBatchQuadCrashEquivalence(t *testing.T) {
+	const dt = 1.0 / 400
+	p := IRISPlusParams()
+	const n = 8
+	b, err := NewBatchQuad(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quads := make([]*Quad, n)
+	for k := range quads {
+		quads[k], _ = NewQuad(p)
+	}
+	cmds := make([][4]float64, n)
+	crashedAt := make([]int, n)
+	for i := 0; i < 4000; i++ {
+		for k := range cmds {
+			// Stagger the divergence onset per lane so crashes land on
+			// different ticks.
+			if i > 100*k {
+				cmds[k] = [4]float64{1, 0, 1, 0}
+			} else {
+				h := p.HoverThrottle()
+				cmds[k] = [4]float64{h, h, h, h}
+			}
+		}
+		b.Step(cmds, dt)
+		for k, q := range quads {
+			q.Step(cmds[k], dt)
+			if c, _ := q.Crashed(); c && crashedAt[k] == 0 {
+				crashedAt[k] = i
+			}
+		}
+		for k, q := range quads {
+			assertLaneEqualsQuad(t, b, k, q, i)
+		}
+	}
+	for k, at := range crashedAt {
+		if at == 0 {
+			t.Fatalf("lane %d never crashed; test exercises nothing", k)
+		}
+	}
+	// Distinct crash ticks prove lanes retire independently.
+	seen := map[int]bool{}
+	for _, at := range crashedAt {
+		seen[at] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all lanes crashed on the same tick %v; staggering failed", crashedAt)
+	}
+}
+
+// TestBatchQuadWindEquivalence checks per-lane wind: same seed ⇒ same gust
+// stream ⇒ bit-identical trajectories between lane and scalar.
+func TestBatchQuadWindEquivalence(t *testing.T) {
+	const dt = 1.0 / 400
+	p := IRISPlusParams()
+	const n = 4
+	winds := make([]*Wind, n)
+	scalarWinds := make([]*Wind, n)
+	for k := 0; k < n; k++ {
+		winds[k] = NewWind(mathx.V3(2, 1, 0), 1.5, int64(100+k))
+		scalarWinds[k] = NewWind(mathx.V3(2, 1, 0), 1.5, int64(100+k))
+	}
+	b, err := NewBatchQuad(p, n, WithBatchWinds(winds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quads := make([]*Quad, n)
+	for k := range quads {
+		quads[k], _ = NewQuad(p, WithWind(scalarWinds[k]))
+	}
+	cmds := make([][4]float64, n)
+	for i := 0; i < 8000; i++ {
+		for k := range cmds {
+			cmds[k] = laneCmd(p, k, i)
+		}
+		b.Step(cmds, dt)
+		for k, q := range quads {
+			q.Step(cmds[k], dt)
+		}
+	}
+	for k, q := range quads {
+		assertLaneEqualsQuad(t, b, k, q, 8000)
+	}
+}
+
+// TestBatchQuadWorldEquivalence places an obstacle in the shared world and
+// checks lanes hit it exactly as scalar quads do.
+func TestBatchQuadWorldEquivalence(t *testing.T) {
+	const dt = 1.0 / 400
+	p := IRISPlusParams()
+	wall := Obstacle{Name: "wall", Box: mathx.AABB{
+		Min: mathx.V3(-50, -50, -6),
+		Max: mathx.V3(50, 50, -5),
+	}}
+	const n = 3
+	b, err := NewBatchQuad(p, n, WithBatchWorld(&World{Obstacles: []Obstacle{wall}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quads := make([]*Quad, n)
+	for k := range quads {
+		quads[k], _ = NewQuad(p, WithWorld(&World{Obstacles: []Obstacle{wall}}))
+	}
+	cmds := make([][4]float64, n)
+	climb := p.HoverThrottle() + 0.15
+	anyCrashed := false
+	for i := 0; i < 20000; i++ {
+		for k := range cmds {
+			cmds[k] = [4]float64{climb, climb, climb, climb}
+		}
+		b.Step(cmds, dt)
+		for k, q := range quads {
+			q.Step(cmds[k], dt)
+		}
+		for k, q := range quads {
+			assertLaneEqualsQuad(t, b, k, q, i)
+		}
+		if c, reason := quads[0].Crashed(); c {
+			if reason != `collision with obstacle "wall"` {
+				t.Fatalf("unexpected crash reason %q", reason)
+			}
+			anyCrashed = true
+			break
+		}
+	}
+	if !anyCrashed {
+		t.Fatal("climbing quad never reached the ceiling obstacle")
+	}
+}
+
+// TestBatchQuadNonFinite mirrors the scalar hardening: NaN/Inf commands or
+// dt crash the lane loudly instead of poisoning the state.
+func TestBatchQuadNonFinite(t *testing.T) {
+	p := IRISPlusParams()
+	bad := []struct {
+		name string
+		cmd  [4]float64
+		dt   float64
+	}{
+		{"nan-cmd", [4]float64{math.NaN(), 0.5, 0.5, 0.5}, 1.0 / 400},
+		{"inf-cmd", [4]float64{0.5, math.Inf(1), 0.5, 0.5}, 1.0 / 400},
+		{"nan-dt", [4]float64{0.5, 0.5, 0.5, 0.5}, math.NaN()},
+		{"inf-dt", [4]float64{0.5, 0.5, 0.5, 0.5}, math.Inf(1)},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := NewBatchQuad(p, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, _ := NewQuad(p)
+			b.StepLane(0, tc.cmd, tc.dt)
+			q.Step(tc.cmd, tc.dt)
+			c, reason := b.Lane(0).Crashed()
+			qc, qreason := q.Crashed()
+			if !c || !qc {
+				t.Fatalf("non-finite input not rejected: lane crashed=%v scalar crashed=%v", c, qc)
+			}
+			if reason != nonFiniteStep || qreason != nonFiniteStep {
+				t.Fatalf("crash reasons %q / %q, want %q", reason, qreason, nonFiniteStep)
+			}
+			if c2, _ := b.Lane(1).Crashed(); c2 {
+				t.Fatal("untouched lane crashed")
+			}
+			if got := b.Lane(0).State(); got != (State{Att: mathx.QuatIdentity()}) {
+				t.Fatalf("crash left non-pristine state %+v", got)
+			}
+		})
+	}
+}
+
+// TestBatchQuadRetire checks retirement semantics: a retired lane freezes,
+// stays out of Active, and Reset revives it to a fresh-vehicle state.
+func TestBatchQuadRetire(t *testing.T) {
+	const dt = 1.0 / 400
+	p := IRISPlusParams()
+	b, err := NewBatchQuad(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([][4]float64, 4)
+	for k := range cmds {
+		cmds[k] = laneCmd(p, k, 0)
+	}
+	for i := 0; i < 100; i++ {
+		b.Step(cmds, dt)
+	}
+	if got := b.Active(); got != 4 {
+		t.Fatalf("Active = %d, want 4", got)
+	}
+	frozen := b.Lane(2).State()
+	b.Retire(2)
+	if !b.Retired(2) || b.Active() != 3 {
+		t.Fatalf("retire bookkeeping: retired=%v active=%d", b.Retired(2), b.Active())
+	}
+	for i := 0; i < 100; i++ {
+		b.Step(cmds, dt)
+	}
+	if got := b.Lane(2).State(); got != frozen {
+		t.Fatalf("retired lane moved: %+v vs %+v", got, frozen)
+	}
+	// Reset revives the lane as a factory-fresh vehicle.
+	b.Lane(2).Reset(mathx.V3(1, 2, -3))
+	fresh, _ := NewQuad(p, WithInitialState(State{Pos: mathx.V3(1, 2, -3), Att: mathx.QuatIdentity()}))
+	if b.Retired(2) {
+		t.Fatal("Reset did not clear retirement")
+	}
+	assertLaneEqualsQuad(t, b, 2, fresh, -1)
+	// And it steps in lockstep with a fresh scalar from here on.
+	for i := 0; i < 2000; i++ {
+		cmd := laneCmd(p, 2, i)
+		b.StepLane(2, cmd, dt)
+		fresh.Step(cmd, dt)
+	}
+	assertLaneEqualsQuad(t, b, 2, fresh, 2000)
+}
+
+// TestBatchQuadStepAllocs asserts the kernel is allocation-free per step.
+func TestBatchQuadStepAllocs(t *testing.T) {
+	p := IRISPlusParams()
+	b, err := NewBatchQuad(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([][4]float64, 16)
+	h := p.HoverThrottle()
+	for k := range cmds {
+		cmds[k] = [4]float64{h, h, h, h}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Step(cmds, 1.0/400)
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestBatchQuadArgValidation covers constructor and Step argument errors.
+func TestBatchQuadArgValidation(t *testing.T) {
+	p := IRISPlusParams()
+	if _, err := NewBatchQuad(p, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewBatchQuad(VehicleParams{}, 4); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := NewBatchQuad(p, 4, WithBatchWinds(make([]*Wind, 3))); err == nil {
+		t.Fatal("mismatched winds length accepted")
+	}
+	b, err := NewBatchQuad(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("short cmds slice did not panic")
+			}
+		}()
+		b.Step(make([][4]float64, 1), 1.0/400)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range lane did not panic")
+			}
+		}()
+		b.Lane(2)
+	}()
+}
+
+// TestQuadStepNonFinite covers the scalar satellite fix directly.
+func TestQuadStepNonFinite(t *testing.T) {
+	p := IRISPlusParams()
+	q, err := NewQuad(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Step([4]float64{0.5, 0.5, math.Inf(-1), 0.5}, 1.0/400)
+	if c, reason := q.Crashed(); !c || reason != nonFiniteStep {
+		t.Fatalf("crashed=%v reason=%q, want loud non-finite rejection", c, reason)
+	}
+	// NaN dt used to slip past the dt <= 0 guard and poison the state.
+	q2, _ := NewQuad(p)
+	q2.Step([4]float64{0.5, 0.5, 0.5, 0.5}, math.NaN())
+	if c, reason := q2.Crashed(); !c || reason != nonFiniteStep {
+		t.Fatalf("NaN dt: crashed=%v reason=%q", c, reason)
+	}
+	if s := q2.State(); s != (State{Att: mathx.QuatIdentity()}) {
+		t.Fatalf("NaN dt mutated state: %+v", s)
+	}
+}

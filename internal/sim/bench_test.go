@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCmds returns balanced near-hover commands that keep the vehicle
+// airborne and uncrashed for the duration of a benchmark run.
+func benchCmds(p VehicleParams, n int) [][4]float64 {
+	h := p.HoverThrottle()
+	cmds := make([][4]float64, n)
+	for k := range cmds {
+		cmds[k] = [4]float64{h, h, h, h}
+	}
+	return cmds
+}
+
+// BenchmarkQuadStep is the scalar per-trial-step baseline.
+func BenchmarkQuadStep(b *testing.B) {
+	p := IRISPlusParams()
+	q, err := NewQuad(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmd := benchCmds(p, 1)[0]
+	const dt = 1.0 / 400
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Periodic reset keeps the battery from depleting mid-run, which
+		// would zero the commands and change the measured work.
+		if i%100000 == 0 {
+			b.StopTimer()
+			q.Reset(q.State().Pos)
+			b.StartTimer()
+		}
+		q.Step(cmd, dt)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/trial-step")
+}
+
+// BenchmarkBatchStep measures the SoA kernel at the contract batch widths;
+// ns/trial-step is the figure comparable against BenchmarkQuadStep.
+func BenchmarkBatchStep(b *testing.B) {
+	p := IRISPlusParams()
+	const dt = 1.0 / 400
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			bq, err := NewBatchQuad(p, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cmds := benchCmds(p, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%100000 == 0 {
+					b.StopTimer()
+					for k := 0; k < n; k++ {
+						lane := bq.Lane(k)
+						lane.Reset(lane.State().Pos)
+					}
+					b.StartTimer()
+				}
+				bq.Step(cmds, dt)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/trial-step")
+		})
+	}
+}

@@ -234,10 +234,29 @@ func (q *Quad) Reset(pos mathx.Vec3) {
 	}
 }
 
+// nonFiniteStep is the crash reason recorded when Step is fed NaN or ±Inf.
+const nonFiniteStep = "non-finite motor command or dt"
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // Step advances the simulation by dt seconds with the given motor commands
 // in [0, 1]. Once crashed the vehicle stays put and Step is a no-op.
+//
+// Non-finite commands or dt crash the vehicle with an explanatory reason
+// instead of silently poisoning the state: a NaN dt previously slipped past
+// the dt <= 0 guard and propagated through the integrator.
 func (q *Quad) Step(cmd [4]float64, dt float64) {
-	if q.crashed || dt <= 0 {
+	if q.crashed {
+		return
+	}
+	if !finite(dt) || !finite(cmd[0]) || !finite(cmd[1]) || !finite(cmd[2]) || !finite(cmd[3]) {
+		q.crash(nonFiniteStep)
+		return
+	}
+	if dt <= 0 {
 		return
 	}
 	for i := range cmd {
@@ -385,6 +404,10 @@ func (q *Quad) integrate(s State, cmd [4]float64, windVel mathx.Vec3, dt float64
 // counts as a crash rather than a landing.
 const CrashSpeed = 2.5
 
+// tipOverRad is the roll/pitch magnitude beyond which ground contact counts
+// as a tip-over (60°); shared by the scalar and batched crash checks.
+var tipOverRad = mathx.Rad(60)
+
 func (q *Quad) checkCollisions() {
 	s := q.state
 	// Hard ground impact (impact speed recorded by the ground clamp).
@@ -394,7 +417,7 @@ func (q *Quad) checkCollisions() {
 	}
 	// Extreme attitude near the ground means a tip-over.
 	roll, pitch, _ := s.Euler()
-	if s.Altitude() < 0.3 && (math.Abs(roll) > mathx.Rad(60) || math.Abs(pitch) > mathx.Rad(60)) {
+	if s.Altitude() < 0.3 && (math.Abs(roll) > tipOverRad || math.Abs(pitch) > tipOverRad) {
 		q.crash("tip-over near ground")
 		return
 	}
