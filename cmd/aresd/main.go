@@ -12,6 +12,18 @@
 // in-flight jobs (up to -drain), persists the queue manifest, and a
 // restarted daemon with the same -store completes the remainder.
 //
+// Fleet mode shards campaigns across machines (internal/dist). One
+// daemon coordinates; any number of workers join it:
+//
+//	aresd -coordinator [-addr :8080] [-store DIR] [-lease-ttl D] [-lease-batch N]
+//	aresd -worker -join http://coordinator:8080 [-id NAME] [-workers N] [-batch]
+//
+// The coordinator serves the same submission API as a single-node
+// daemon — -submit/-wait point at it unchanged — and drains the same
+// way: SIGTERM expires outstanding leases back into the queue manifest.
+// A killed worker costs nothing but its lease TTL; the fleet's merged
+// artifacts are byte-identical to a local run of the same spec.
+//
 // Client mode (so CI can exercise the full loop without curl):
 //
 //	aresd -addr host:port -submit spec.json [-wait] [-timeout D]
@@ -35,6 +47,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/dist"
 	"github.com/ares-cps/ares/internal/serve"
 )
 
@@ -58,12 +72,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	submit := fs.String("submit", "", "client mode: POST this spec file (\"-\" = stdin) to -addr")
 	wait := fs.Bool("wait", false, "with -submit: poll until the job finishes and print the summary")
 	timeout := fs.Duration("timeout", 10*time.Minute, "with -wait: give up after this long")
+	coordinator := fs.Bool("coordinator", false, "fleet mode: coordinate -worker daemons instead of executing locally")
+	worker := fs.Bool("worker", false, "fleet mode: execute job leases from the -join coordinator")
+	join := fs.String("join", "", "worker mode: coordinator address or URL to join")
+	workerID := fs.String("id", "", "worker mode: stable worker identity (default host-pid)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "coordinator mode: lease lifetime without a heartbeat")
+	leaseBatch := fs.Int("lease-batch", 8, "coordinator mode: max jobs per lease")
+	batch := fs.Bool("batch", true, "worker mode: run batchable trial groups on the lockstep batched executor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *coordinator && *worker {
+		return errors.New("-coordinator and -worker are mutually exclusive")
+	}
 	if *submit != "" {
 		return clientSubmit(*addr, *submit, *wait, *timeout, stdout, stderr)
+	}
+	if *worker {
+		return workerDaemon(*join, *workerID, *workers, *batch, stderr)
+	}
+	if *coordinator {
+		return coordinatorDaemon(*addr, dist.CoordConfig{
+			StoreDir: *storeDir,
+			LeaseTTL: *leaseTTL,
+			MaxLease: *leaseBatch,
+			Log:      stderr,
+		}, *drain, stderr)
 	}
 	return daemon(*addr, serve.Config{
 		StoreDir:    *storeDir,
@@ -109,6 +144,78 @@ func daemon(addr string, cfg serve.Config, drain time.Duration, stderr io.Writer
 		return err
 	}
 	fmt.Fprintln(stderr, "aresd: queue persisted; bye")
+	return nil
+}
+
+// coordinatorDaemon serves the fleet head: same lifecycle shape as the
+// single-node daemon, but shutdown also expires outstanding worker
+// leases so their jobs persist to the queue manifest as pending.
+func coordinatorDaemon(addr string, cfg dist.CoordConfig, drain time.Duration, stderr io.Writer) error {
+	c, err := dist.NewCoordinator(cfg)
+	if err != nil {
+		return err
+	}
+	c.Start()
+	httpSrv := &http.Server{Addr: addr, Handler: c.Handler()}
+
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "aresd: coordinating on %s (store %s, lease ttl %s, batch %d)\n",
+			addr, cfg.StoreDir, cfg.LeaseTTL, cfg.MaxLease)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stderr, "aresd: coordinator draining (up to %s)...\n", drain)
+	drainCtx, stop := context.WithTimeout(context.Background(), drain)
+	defer stop()
+	_ = httpSrv.Shutdown(drainCtx)
+	if err := c.Shutdown(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "aresd: leases released, queue persisted; bye")
+	return nil
+}
+
+// workerDaemon joins a coordinator and executes leases until signalled.
+func workerDaemon(join, id string, jobs int, batch bool, stderr io.Writer) error {
+	if join == "" {
+		return errors.New("-worker requires -join")
+	}
+	cfg := dist.WorkerConfig{
+		Coordinator: baseURL(join),
+		ID:          id,
+		Jobs:        jobs,
+		Log:         stderr,
+	}
+	if batch {
+		cfg.Execute, cfg.ExecuteGroup = campaign.NewBatchExecutor()
+	} else {
+		cfg.Execute = campaign.NewExecutor()
+	}
+	w, err := dist.NewWorker(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	fmt.Fprintf(stderr, "aresd: worker %s joining %s (%d jobs, batch=%v)\n",
+		w.ID(), cfg.Coordinator, jobs, batch)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "aresd: worker %s stopped\n", w.ID())
 	return nil
 }
 

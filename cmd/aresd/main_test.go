@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/dist"
 	"github.com/ares-cps/ares/internal/metrics"
 	"github.com/ares-cps/ares/internal/serve"
 )
@@ -81,6 +82,70 @@ func TestClientSubmitInvalidSpec(t *testing.T) {
 	err := run([]string{"-addr", ts.URL, "-submit", specPath}, &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "teleport") {
 		t.Fatalf("err = %v, want the daemon's validation error", err)
+	}
+}
+
+// TestFleetFlagValidation pins the fleet-mode flag contract.
+func TestFleetFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-coordinator", "-worker"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-coordinator -worker: err = %v, want mutual-exclusion error", err)
+	}
+	err = run([]string{"-worker"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-join") {
+		t.Errorf("-worker without -join: err = %v, want join error", err)
+	}
+	err = run([]string{"-worker", "-join", "http://x", "-id", "bad id"}, &stdout, &stderr)
+	if err == nil {
+		t.Error("-worker with malformed -id accepted")
+	}
+}
+
+// TestClientAgainstCoordinator proves the unchanged client mode drives a
+// fleet: -submit/-wait against a coordinator whose jobs a dist worker
+// executes.
+func TestClientAgainstCoordinator(t *testing.T) {
+	c, err := dist.NewCoordinator(dist.CoordConfig{
+		StoreDir: t.TempDir(),
+		Metrics:  metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Shutdown()
+	})
+
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: ts.URL, ID: "cli-w0", Jobs: 1,
+		Execute: func(_ context.Context, job campaign.Job) (campaign.Metrics, error) {
+			return campaign.Metrics{Deviation: 6, Success: true}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(wctx) }()
+	t.Cleanup(func() { wcancel(); <-done })
+
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{"name":"fleet-cli","seed":3,"missions":[{"kind":"line","size":40,"alt":10}],"variables":["PIDR.INTEG"],"trials":2,"episodes":1,"max_steps":4}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-submit", specPath, "-wait", "-timeout", "30s"},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Campaign fleet-cli — 2 jobs") {
+		t.Errorf("output missing fleet summary:\n%s", stdout.String())
 	}
 }
 

@@ -29,6 +29,18 @@ var (
 // deterministic in job.Seed and safe for concurrent calls.
 type Executor func(ctx context.Context, job Job) (Metrics, error)
 
+// RecordSink receives finished job records. *Store is the canonical sink;
+// internal/dist workers substitute a sink that streams records back to
+// their coordinator. Both methods are called concurrently from the
+// runner's worker pool.
+type RecordSink interface {
+	// Completed reports whether key already has an ok record, so a
+	// resumed run skips it.
+	Completed(key string) bool
+	// Append durably records one finished job.
+	Append(Record) error
+}
+
 // RunStats summarizes one Runner.Run invocation.
 type RunStats struct {
 	// Total is the expanded job count; Skipped were already in the store.
@@ -67,11 +79,19 @@ func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, er
 	if err := spec.Validate(); err != nil {
 		return RunStats{}, err
 	}
-	jobs := spec.Expand()
+	return r.RunJobs(ctx, spec.Expand(), store)
+}
+
+// RunJobs executes an explicit job list against a record sink. It is the
+// body of Run with the expansion step factored out, so a distributed
+// worker can execute the subset of a campaign's jobs its lease names
+// (expanded locally from the same spec) while streaming records back
+// through its sink — same pool, same panic recovery, same batching.
+func (r *Runner) RunJobs(ctx context.Context, jobs []Job, sink RecordSink) (RunStats, error) {
 	stats := RunStats{Total: len(jobs)}
 	pending := jobs[:0:0]
 	for _, j := range jobs {
-		if store.Completed(j.Key) {
+		if sink.Completed(j.Key) {
 			stats.Skipped++
 			continue
 		}
@@ -114,7 +134,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec, store *Store) (RunStats, er
 		mJobSeconds.Observe(time.Since(jobStart).Seconds())
 		mInflight.Dec()
 		for _, rec := range recs {
-			if err := store.Append(rec); err != nil {
+			if err := sink.Append(rec); err != nil {
 				return err
 			}
 		}

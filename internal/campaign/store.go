@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -163,6 +164,36 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.f.Close()
+}
+
+// SortedBytes renders records as the canonical sorted JSONL artifact:
+// deduplicated by job key keeping the last occurrence (mirroring
+// Aggregate, so a resumed store where a failed job later succeeded keeps
+// the success), sorted by key, one compact JSON line per record. Because
+// record bytes depend only on the spec — never on worker identity or
+// completion order — a local run, a resumed run and a distributed merge
+// of the same spec all produce byte-identical SortedBytes. internal/dist
+// tests cross-node bit-identity against exactly this encoding.
+func SortedBytes(recs []Record) ([]byte, error) {
+	byKey := make(map[string]Record, len(recs))
+	keys := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if _, seen := byKey[r.Key]; !seen {
+			keys = append(keys, r.Key)
+		}
+		byKey[r.Key] = r
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		line, err := json.Marshal(byKey[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
 }
 
 // WriteFileAtomic finalizes a summary or artifact file via write-temp +

@@ -1,0 +1,488 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/metrics"
+	"github.com/ares-cps/ares/internal/serve"
+)
+
+// fleetSpec is a 2-variable × trials campaign — enough jobs to spread
+// over several leases.
+func fleetSpec(name string, trials int) campaign.Spec {
+	return campaign.Spec{
+		Name:      name,
+		Seed:      11,
+		Missions:  []campaign.MissionSpec{{Kind: "line", Size: 40, Alt: 10}},
+		Variables: []string{"PIDR.INTEG", "CMD.Roll"},
+		Goals:     []string{campaign.GoalDeviation},
+		Defenses:  []string{campaign.DefenseNone},
+		Trials:    trials,
+		Episodes:  1,
+		MaxSteps:  4,
+	}
+}
+
+// fleetExec is deterministic in job.Seed alone — including a
+// deterministic failure slice — so any placement of any job on any
+// worker produces the same record bytes.
+func fleetExec(_ context.Context, job campaign.Job) (campaign.Metrics, error) {
+	if job.Seed%5 == 0 {
+		return campaign.Metrics{}, fmt.Errorf("synthetic fault for seed %d", job.Seed)
+	}
+	return campaign.Metrics{
+		Deviation: float64(job.Seed%1000) / 16,
+		Return:    float64(job.Seed % 37),
+		Detected:  job.Seed%3 == 0,
+		Success:   job.Seed%3 != 0,
+	}, nil
+}
+
+// localRun executes the spec on a plain single-node runner and returns
+// the canonical sorted artifact plus the aggregate summary — the baseline
+// every fleet topology must reproduce byte for byte.
+func localRun(t testing.TB, spec campaign.Spec) ([]byte, *campaign.Summary, []campaign.Record) {
+	t.Helper()
+	store, err := campaign.OpenStore(t.TempDir() + "/local.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	r := &campaign.Runner{Workers: 2, Execute: fleetExec}
+	if _, err := r.Run(context.Background(), spec, store); err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := campaign.SortedBytes(store.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sorted, campaign.Aggregate(spec.Name, store.Records()), store.Records()
+}
+
+func submitHTTP(t *testing.T, url string, spec campaign.Spec) (serve.JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// waitTerminal polls a campaign until it reaches done or failed.
+func waitTerminal(t *testing.T, url, id string) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == serve.StateDone || st.State == serve.StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %q (err %q)", id, st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runFleet executes spec on an in-process fleet of n workers and returns
+// the sorted artifact, the aggregate summary and the coordinator's
+// metrics registry. With killOne, worker w0 is started first and dies
+// mid-lease without streaming a record, so the campaign can only finish
+// via lease expiry + work stealing.
+func runFleet(t *testing.T, spec campaign.Spec, n int, killOne bool) ([]byte, *campaign.Summary, *metrics.Registry) {
+	t.Helper()
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	c, err := NewCoordinator(CoordConfig{
+		StoreDir: dir,
+		LeaseTTL: 250 * time.Millisecond,
+		MaxLease: 2,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	ts := httptest.NewServer(c.Handler())
+
+	st, code := submitHTTP(t, ts.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	start := 0
+	if killOne {
+		killCtx, kill := context.WithCancel(ctx)
+		w0, err := NewWorker(WorkerConfig{
+			Coordinator: ts.URL, ID: "w0", Jobs: 1, FlushEvery: 100,
+			Execute: func(jctx context.Context, _ campaign.Job) (campaign.Metrics, error) {
+				kill() // die mid-lease, record unstreamed
+				<-jctx.Done()
+				return campaign.Metrics{}, jctx.Err()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = w0.Run(killCtx) }()
+		<-killCtx.Done() // w0 holds a lease and is now dead
+		start = 1
+	}
+	for i := start; i < n; i++ {
+		w, err := NewWorker(WorkerConfig{
+			Coordinator: ts.URL, ID: fmt.Sprintf("w%d", i), Jobs: 2, FlushEvery: 2,
+			Execute: fleetExec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = w.Run(ctx) }()
+	}
+
+	final := waitTerminal(t, ts.URL, st.ID)
+	cancel()
+	wg.Wait()
+
+	var res serve.Result
+	resp, err := http.Get(ts.URL + "/v1/results/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = (%d, %v) for terminal state %q", resp.StatusCode, err, final.State)
+	}
+
+	if err := c.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts.Close()
+	sorted, err := os.ReadFile(SortedArtifactPath(dir, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sorted, res.Summary, reg
+}
+
+// TestFleetEquivalence is the acceptance contract: the same spec run
+// locally, on a 1-worker fleet, and on a 3-worker fleet with one worker
+// killed mid-run (forcing lease expiry and work stealing) produces
+// byte-identical sorted artifacts and identical aggregate summaries.
+func TestFleetEquivalence(t *testing.T) {
+	spec := fleetSpec("fleet-eq", 4)
+	wantSorted, wantSum, _ := localRun(t, spec)
+	if len(wantSorted) == 0 {
+		t.Fatal("local baseline produced no artifact")
+	}
+	wantSumJSON, err := json.Marshal(wantSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		workers int
+		kill    bool
+	}{
+		{"one-worker", 1, false},
+		{"three-workers-one-killed", 3, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sorted, sum, reg := runFleet(t, spec, tc.workers, tc.kill)
+			if !bytes.Equal(sorted, wantSorted) {
+				t.Errorf("sorted artifact diverges from local run:\nfleet:\n%slocal:\n%s", sorted, wantSorted)
+			}
+			sumJSON, err := json.Marshal(sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sumJSON, wantSumJSON) {
+				t.Errorf("summary diverges:\nfleet: %s\nlocal: %s", sumJSON, wantSumJSON)
+			}
+			merged := reg.Counter("ares_dist_records_merged_total", "").Value()
+			if want := uint64(len(spec.Expand())); merged != want {
+				t.Errorf("records merged = %d, want %d (no double-merge)", merged, want)
+			}
+			if tc.kill {
+				if got := reg.Counter("ares_dist_leases_expired_total", "").Value(); got == 0 {
+					t.Error("killed worker's lease never expired")
+				}
+				if got := reg.Counter("ares_dist_steal_events_total", "").Value(); got == 0 {
+					t.Error("no steal events despite a killed worker")
+				}
+			}
+		})
+	}
+}
+
+// TestDrainWithActiveLease is the drain-race regression: a lease still
+// held at SIGTERM must land its unfinished jobs in the queue manifest as
+// pending — not dropped — and a fresh coordinator over the same store
+// must re-lease exactly the unmerged remainder.
+func TestDrainWithActiveLease(t *testing.T) {
+	dir := t.TempDir()
+	spec := fleetSpec("drain-race", 2)
+	_, _, recs := localRun(t, spec)
+	recFor := make(map[string]campaign.Record, len(recs))
+	for _, r := range recs {
+		recFor[r.Key] = r
+	}
+
+	c, err := NewCoordinator(CoordConfig{
+		StoreDir: dir, LeaseTTL: time.Hour, MaxLease: 64, Metrics: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, code := c.Submit(spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	grant, err := c.Lease(LeaseRequest{Worker: "w0", Max: 64})
+	if err != nil || grant.Lease == "" {
+		t.Fatalf("lease = (%+v, %v), want a grant", grant, err)
+	}
+	total := len(spec.Expand())
+	if len(grant.Keys) != total {
+		t.Fatalf("lease granted %d keys, want all %d", len(grant.Keys), total)
+	}
+	// One record streams before the SIGTERM; the rest of the lease is
+	// still active when the coordinator drains.
+	first := grant.Keys[0]
+	if _, _, err := c.MergeRecords(RecordsRequest{
+		Worker: "w0", Lease: grant.Lease, Offset: 0,
+		Records: []campaign.Record{recFor[first]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Shutdown(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if hb := c.Heartbeat(HeartbeatRequest{Worker: "w0", Lease: grant.Lease}); !hb.Abandon {
+		t.Error("post-drain heartbeat did not order abandon")
+	}
+
+	man, err := serve.LoadManifest(serve.ManifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man) != 1 || man[0].ID != st.ID {
+		t.Fatalf("manifest = %+v, want the drained campaign %s pending", man, st.ID)
+	}
+
+	// Life 2: the unfinished remainder — and nothing more — is pending.
+	c2, err := NewCoordinator(CoordConfig{
+		StoreDir: dir, LeaseTTL: time.Hour, MaxLease: 64, Metrics: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Shutdown()
+	g2, err := c2.Lease(LeaseRequest{Worker: "w1", Max: 64})
+	if err != nil || g2.Campaign != st.ID {
+		t.Fatalf("life-2 lease = (%+v, %v)", g2, err)
+	}
+	if len(g2.Keys) != total-1 {
+		t.Fatalf("life-2 pending = %d keys, want %d (drained lease released, merged record kept)",
+			len(g2.Keys), total-1)
+	}
+	batch := make([]campaign.Record, 0, len(g2.Keys))
+	for _, k := range g2.Keys {
+		batch = append(batch, recFor[k])
+	}
+	if _, _, err := c2.MergeRecords(RecordsRequest{
+		Worker: "w1", Lease: g2.Lease, Offset: 0, Records: batch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Complete(CompleteRequest{Worker: "w1", Lease: g2.Lease})
+	st2, ok := c2.Status(st.ID)
+	if !ok || (st2.State != serve.StateDone && st2.State != serve.StateFailed) {
+		t.Fatalf("life-2 state = %+v, want terminal", st2)
+	}
+	man2, err := serve.LoadManifest(serve.ManifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man2) != 0 {
+		t.Fatalf("finished campaign still in manifest: %+v", man2)
+	}
+}
+
+// TestMergeOrderInvariance is the property test: record arrival order
+// shuffled across N simulated workers — interleaved leases, random batch
+// splits, occasional duplicate retries — merges to a store byte-identical
+// to the sequential local artifact.
+func TestMergeOrderInvariance(t *testing.T) {
+	spec := fleetSpec("merge-order", 3)
+	wantSorted, _, recs := localRun(t, spec)
+	recFor := make(map[string]campaign.Record, len(recs))
+	for _, r := range recs {
+		recFor[r.Key] = r
+	}
+
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("shuffle-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			c, err := NewCoordinator(CoordConfig{
+				StoreDir: dir, LeaseTTL: time.Hour, MaxLease: 3, Metrics: metrics.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Shutdown()
+			st, _ := c.Submit(spec)
+
+			// Lease everything out across 3 simulated workers.
+			type held struct {
+				worker, lease string
+				keys          []string
+				sent          int
+			}
+			var grants []*held
+			for {
+				worker := fmt.Sprintf("sim%d", rng.Intn(3))
+				g, err := c.Lease(LeaseRequest{Worker: worker})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g.Lease == "" {
+					break
+				}
+				grants = append(grants, &held{worker: worker, lease: g.Lease, keys: g.Keys})
+			}
+
+			// Deliver in shuffled interleavings, batch sizes 1..3, with a
+			// 1-in-3 chance of resending the previous record (a retry the
+			// offset protocol must dedup).
+			for live := len(grants); live > 0; {
+				g := grants[rng.Intn(len(grants))]
+				if g.sent == len(g.keys) {
+					continue
+				}
+				off := g.sent
+				if off > 0 && rng.Intn(3) == 0 {
+					off-- // retry overlap
+				}
+				end := g.sent + 1 + rng.Intn(3)
+				if end > len(g.keys) {
+					end = len(g.keys)
+				}
+				batch := make([]campaign.Record, 0, end-off)
+				for _, k := range g.keys[off:end] {
+					batch = append(batch, recFor[k])
+				}
+				resp, _, err := c.MergeRecords(RecordsRequest{
+					Worker: g.worker, Lease: g.lease, Offset: off, Records: batch,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Next != end {
+					t.Fatalf("acked %d, want %d", resp.Next, end)
+				}
+				g.sent = end
+				if g.sent == len(g.keys) {
+					if ok := c.Complete(CompleteRequest{Worker: g.worker, Lease: g.lease}); !ok.OK {
+						t.Fatalf("complete refused for %s", g.lease)
+					}
+					live--
+				}
+			}
+
+			sorted, err := os.ReadFile(SortedArtifactPath(dir, st.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sorted, wantSorted) {
+				t.Errorf("shuffled merge diverges from sequential artifact:\n%s\nvs\n%s", sorted, wantSorted)
+			}
+		})
+	}
+}
+
+// TestWireStrictness pins the decode gate: unknown fields, trailing data,
+// oversize bodies and malformed worker IDs are refused.
+func TestWireStrictness(t *testing.T) {
+	if _, err := decodeWire[RegisterRequest](strings.NewReader(`{"worker":"a","extra":1}`), maxControlBytes); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := decodeWire[RegisterRequest](strings.NewReader(`{"worker":"a"} {"worker":"b"}`), maxControlBytes); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := decodeWire[RegisterRequest](strings.NewReader(`{"worker":"a"}`), 4); err == nil {
+		t.Error("oversize body accepted")
+	}
+	if _, err := decodeWire[RegisterRequest](strings.NewReader(`{"worker":"ok-1"}`), maxControlBytes); err != nil {
+		t.Errorf("valid envelope refused: %v", err)
+	}
+	for _, id := range []string{"", "has space", "has/slash", "tab\tid", strings.Repeat("x", 129), "ctl\x01"} {
+		if validWorkerID(id) == nil {
+			t.Errorf("worker id %q accepted", id)
+		}
+	}
+	if err := validWorkerID("bench-host-42"); err != nil {
+		t.Errorf("valid worker id refused: %v", err)
+	}
+}
+
+// TestShardStability pins shard arithmetic: deterministic, in-range, and
+// only a function of (campaign, key, n).
+func TestShardStability(t *testing.T) {
+	counts := make(map[int]int)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("m0/v%d/t%02d", i%4, i)
+		s := shardOf("abc123", k, 3)
+		if s < 0 || s >= 3 {
+			t.Fatalf("shardOf out of range: %d", s)
+		}
+		if s2 := shardOf("abc123", k, 3); s2 != s {
+			t.Fatalf("shardOf not deterministic: %d vs %d", s, s2)
+		}
+		counts[s]++
+	}
+	if len(counts) != 3 {
+		t.Errorf("64 keys landed on %d of 3 shards: %v", len(counts), counts)
+	}
+	if shardOf("abc123", "k", 1) != 0 || shardOf("abc123", "k", 0) != 0 {
+		t.Error("degenerate fleet sizes must map to shard 0")
+	}
+}

@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/ares-cps/ares/internal/serve"
+)
+
+// Handler returns the coordinator's HTTP API. The client-facing half
+// mirrors the single-node daemon (same wire shapes, so `aresd -submit
+// -wait` works against either); the /v1/dist/* half is the worker fleet
+// protocol:
+//
+//	POST /v1/jobs                     submit a campaign.Spec (JSON); 202
+//	                                  accepted or deduped, 200 when done,
+//	                                  503 while draining
+//	GET  /v1/jobs/{id}                campaign status (Events = records merged)
+//	GET  /v1/results/{id}             aggregated report of a finished campaign
+//	GET  /v1/dist/campaigns/{id}/spec campaign spec for worker-side expansion
+//	POST /v1/dist/register            worker hello → lease TTL + heartbeat interval
+//	POST /v1/dist/lease               lease a job batch (empty lease = retry later)
+//	POST /v1/dist/heartbeat           keep a lease alive (or learn to abandon it)
+//	POST /v1/dist/records             stream finished records (resumable offsets)
+//	POST /v1/dist/complete            retire a fully-streamed lease
+//	GET  /metrics                     Prometheus text exposition (ares_dist_*)
+//	GET  /healthz                     liveness + fleet gauges
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/results/{id}", c.handleResult)
+	mux.HandleFunc("GET /v1/dist/campaigns/{id}/spec", c.handleSpec)
+	mux.HandleFunc("POST /v1/dist/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/dist/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/dist/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/dist/records", c.handleRecords)
+	mux.HandleFunc("POST /v1/dist/complete", c.handleComplete)
+	mux.Handle("GET /metrics", c.cfg.Metrics.Handler())
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := serve.DecodeSpec(http.MaxBytesReader(w, r.Body, serve.MaxSpecBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	st, code := c.Submit(spec)
+	switch code {
+	case http.StatusServiceUnavailable:
+		writeErr(w, code, "draining: not accepting new campaigns")
+	case http.StatusInternalServerError:
+		writeErr(w, code, "campaign could not be opened")
+	default:
+		writeJSON(w, code, st)
+	}
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.Status(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, code := c.Result(id)
+	switch code {
+	case http.StatusOK:
+		writeJSON(w, code, res)
+	case http.StatusConflict:
+		writeErr(w, code, "campaign %s has not finished", id)
+	default:
+		writeErr(w, code, "unknown result")
+	}
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
+	spec, ok := c.SpecOf(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, spec)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeWire[RegisterRequest](http.MaxBytesReader(w, r.Body, maxControlBytes), maxControlBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid register: %v", err)
+		return
+	}
+	resp, err := c.Register(req.Worker)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeWire[LeaseRequest](http.MaxBytesReader(w, r.Body, maxControlBytes), maxControlBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid lease request: %v", err)
+		return
+	}
+	resp, err := c.Lease(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeWire[HeartbeatRequest](http.MaxBytesReader(w, r.Body, maxControlBytes), maxControlBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid heartbeat: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Heartbeat(req))
+}
+
+func (c *Coordinator) handleRecords(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeWire[RecordsRequest](http.MaxBytesReader(w, r.Body, maxRecordsBytes), maxRecordsBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid records batch: %v", err)
+		return
+	}
+	resp, code, err := c.MergeRecords(req)
+	if err != nil {
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, code, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeWire[CompleteRequest](http.MaxBytesReader(w, r.Body, maxControlBytes), maxControlBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid complete: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Complete(req))
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	draining := c.draining
+	campaigns := len(c.campaigns)
+	workers := len(c.workers)
+	leases := len(c.leases)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        !draining,
+		"draining":  draining,
+		"campaigns": campaigns,
+		"workers":   workers,
+		"leases":    leases,
+	})
+}

@@ -1,0 +1,29 @@
+package dist
+
+import "github.com/ares-cps/ares/internal/metrics"
+
+// distMetrics are the coordinator's fleet instruments, in the ares_dist_*
+// namespace next to the serve and campaign families.
+type distMetrics struct {
+	workersRegistered *metrics.Gauge
+	leasesActive      *metrics.Gauge
+	leasesGranted     *metrics.Counter
+	leasesExpired     *metrics.Counter
+	recordsMerged     *metrics.Counter
+	steals            *metrics.Counter
+	campaignsDone     *metrics.Counter
+	campaignsFailed   *metrics.Counter
+}
+
+func newDistMetrics(r *metrics.Registry) distMetrics {
+	return distMetrics{
+		workersRegistered: r.Gauge("ares_dist_workers_registered", "workers currently registered with the coordinator"),
+		leasesActive:      r.Gauge("ares_dist_leases_active", "job leases currently held by workers"),
+		leasesGranted:     r.Counter("ares_dist_leases_granted_total", "job leases granted to workers"),
+		leasesExpired:     r.Counter("ares_dist_leases_expired_total", "leases reclaimed after missing heartbeats"),
+		recordsMerged:     r.Counter("ares_dist_records_merged_total", "worker records merged into campaign stores"),
+		steals:            r.Counter("ares_dist_steal_events_total", "jobs from expired leases re-leased to another worker"),
+		campaignsDone:     r.Counter("ares_dist_campaigns_completed_total", "campaigns fully merged without failures"),
+		campaignsFailed:   r.Counter("ares_dist_campaigns_failed_total", "campaigns fully merged with failed cells"),
+	}
+}

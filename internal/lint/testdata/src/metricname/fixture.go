@@ -29,3 +29,14 @@ var cpvBadCase = reg.Counter("ares_CPV_compile_errors_total", "compile errors")
 
 // Bad: re-registering the CPV gauge as a counter.
 var cpvDupKind = reg.Counter("ares_cpv_catalog_records", "records")
+
+// Good: the dist fleet head pairs a gauge with a counter under
+// distinct ares_dist_* names.
+var distWorkers = reg.Gauge("ares_dist_workers_registered", "workers")
+var distMerged = reg.Counter("ares_dist_records_merged_total", "records merged")
+
+// Bad: an uppercase fragment in a dist name.
+var distBadCase = reg.Counter("ares_dist_Steal_events_total", "steals")
+
+// Bad: re-registering the dist gauge as a counter.
+var distDupKind = reg.Counter("ares_dist_workers_registered", "workers")

@@ -83,7 +83,7 @@ func (s *Server) handleCPVAssess(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown cpv record")
 		return
 	}
-	req, err := decodeAssess(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	req, err := decodeAssess(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid assess request: %v", err)
 		return

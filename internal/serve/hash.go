@@ -31,14 +31,18 @@ func SpecHash(spec campaign.Spec) string {
 	return hex.EncodeToString(sum[:16])
 }
 
-// maxSpecBytes bounds a POST /v1/jobs body; a spec enumerating thousands
-// of axis values fits comfortably in 1 MiB.
-const maxSpecBytes = 1 << 20
+// MaxSpecBytes bounds a POST /v1/jobs body; a spec enumerating thousands
+// of axis values fits comfortably in 1 MiB. internal/dist applies the
+// same cap when a worker fetches its campaign's spec back from the
+// coordinator.
+const MaxSpecBytes = 1 << 20
 
-// decodeSpec strictly parses one JSON spec from r: unknown fields and
+// DecodeSpec strictly parses one JSON spec from r: unknown fields and
 // trailing non-whitespace are errors, so a typoed axis name cannot
-// silently submit the default campaign.
-func decodeSpec(r io.Reader) (campaign.Spec, error) {
+// silently submit the default campaign. Distributed workers re-decode
+// the coordinator's spec through this same gate, so both ends of the
+// fleet agree on what a valid spec is.
+func DecodeSpec(r io.Reader) (campaign.Spec, error) {
 	var spec campaign.Spec
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -55,7 +59,7 @@ func decodeSpec(r io.Reader) (campaign.Spec, error) {
 	return spec, nil
 }
 
-// decodeSpecBytes is decodeSpec over a byte slice.
+// decodeSpecBytes is DecodeSpec over a byte slice.
 func decodeSpecBytes(b []byte) (campaign.Spec, error) {
-	return decodeSpec(bytes.NewReader(b))
+	return DecodeSpec(bytes.NewReader(b))
 }

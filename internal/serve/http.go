@@ -50,7 +50,7 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := decodeSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	spec, err := DecodeSpec(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return

@@ -171,7 +171,7 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
 		return nil, err
 	}
-	pending, err := loadManifest(manifestPath(cfg.StoreDir))
+	pending, err := LoadManifest(ManifestPath(cfg.StoreDir))
 	if err != nil {
 		return nil, err
 	}
@@ -484,36 +484,49 @@ func (s *Server) eventsOf(id string) (*eventLog, bool) {
 	return j.events, true
 }
 
-// manifestJob is one entry of the persisted queue manifest.
-type manifestJob struct {
+// ManifestJob is one entry of the persisted queue manifest: an unfinished
+// job (or, for a dist coordinator, an unfinished campaign) and its spec.
+// The type is shared with internal/dist, whose coordinator persists its
+// unfinished campaigns in the same queue.json format — a serve-mode and a
+// coordinator-mode store directory are mutually readable.
+type ManifestJob struct {
 	ID   string        `json:"id"`
 	Spec campaign.Spec `json:"spec"`
 }
 
-func manifestPath(dir string) string { return filepath.Join(dir, "queue.json") }
+// ManifestPath returns the queue-manifest path inside a store directory.
+func ManifestPath(dir string) string { return filepath.Join(dir, "queue.json") }
 
 // persistManifestLocked mirrors the set of unfinished jobs to disk with
 // an atomic write, so any crash leaves either the previous manifest or
 // the new one. Callers hold s.mu.
 func (s *Server) persistManifestLocked() error {
-	pending := make([]manifestJob, 0, len(s.jobs))
+	pending := make([]ManifestJob, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		if j.state == StateQueued || j.state == StateRunning {
-			pending = append(pending, manifestJob{ID: j.id, Spec: j.spec})
+			pending = append(pending, ManifestJob{ID: j.id, Spec: j.spec})
 		}
 	}
-	sort.Slice(pending, func(i, k int) bool { return pending[i].ID < pending[k].ID })
+	return WriteManifest(ManifestPath(s.cfg.StoreDir), pending)
+}
+
+// WriteManifest atomically persists a queue manifest, sorted by ID so the
+// bytes are independent of map-iteration order.
+func WriteManifest(path string, jobs []ManifestJob) error {
+	sorted := make([]ManifestJob, len(jobs))
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].ID < sorted[k].ID })
 	data, err := json.MarshalIndent(struct {
-		Jobs []manifestJob `json:"jobs"`
-	}{pending}, "", "  ")
+		Jobs []ManifestJob `json:"jobs"`
+	}{sorted}, "", "  ")
 	if err != nil {
 		return err
 	}
-	return campaign.WriteFileAtomic(manifestPath(s.cfg.StoreDir), data, 0o644)
+	return campaign.WriteFileAtomic(path, data, 0o644)
 }
 
-// loadManifest reads the queue manifest; a missing file is an empty queue.
-func loadManifest(path string) ([]manifestJob, error) {
+// LoadManifest reads a queue manifest; a missing file is an empty queue.
+func LoadManifest(path string) ([]ManifestJob, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -522,7 +535,7 @@ func loadManifest(path string) ([]manifestJob, error) {
 		return nil, err
 	}
 	var man struct {
-		Jobs []manifestJob `json:"jobs"`
+		Jobs []ManifestJob `json:"jobs"`
 	}
 	if err := json.Unmarshal(data, &man); err != nil {
 		return nil, fmt.Errorf("serve: manifest %s: %w", path, err)

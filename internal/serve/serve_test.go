@@ -342,7 +342,7 @@ func TestShutdownDrainsPersistsResumes(t *testing.T) {
 		t.Errorf("post-drain submit status = %d, want 503", resp2.StatusCode)
 	}
 
-	man, err := loadManifest(manifestPath(dir))
+	man, err := LoadManifest(ManifestPath(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,10 +540,10 @@ func TestManifestSurvivesMissingDir(t *testing.T) {
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(manifestPath(dir)); err != nil {
+	if _, err := os.Stat(ManifestPath(dir)); err != nil {
 		t.Fatalf("manifest not written: %v", err)
 	}
-	man, err := loadManifest(manifestPath(dir))
+	man, err := LoadManifest(ManifestPath(dir))
 	if err != nil || len(man) != 0 {
 		t.Fatalf("manifest = (%v, %v), want empty", man, err)
 	}
