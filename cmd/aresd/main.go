@@ -284,7 +284,7 @@ func postSpec(client *http.Client, base string, body []byte) (serve.JobStatus, e
 		return serve.JobStatus{}, apiError(resp)
 	}
 	var st serve.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := decodeBody(resp.Body, &st); err != nil {
 		return serve.JobStatus{}, err
 	}
 	return st, nil
@@ -300,15 +300,37 @@ func getJSON[T any](client *http.Client, url string) (T, error) {
 	if resp.StatusCode != http.StatusOK {
 		return v, apiError(resp)
 	}
-	return v, json.NewDecoder(resp.Body).Decode(&v)
+	return v, decodeBody(resp.Body, &v)
 }
 
 func apiError(resp *http.Response) error {
 	var e struct {
 		Error string `json:"error"`
 	}
-	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+	if decodeBody(resp.Body, &e) == nil && e.Error != "" {
 		return fmt.Errorf("%s: %s", resp.Status, e.Error)
 	}
 	return errors.New(resp.Status)
+}
+
+// maxBodyBytes caps API response bodies the client will decode — the
+// client-side mirror of the server's request size limits. Status and
+// result documents are a few KB; a megabyte is generous headroom.
+const maxBodyBytes = 1 << 20
+
+// decodeBody decodes exactly one JSON document from an API response
+// body under the repository's strict-decode convention: size-capped,
+// unknown fields rejected, trailing data rejected. Both ends of this
+// protocol live in this module, so a field the client does not know is
+// a version skew worth failing loudly on, not ignoring.
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
 }

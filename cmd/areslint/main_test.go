@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -19,10 +22,14 @@ func TestFixturesExitNonZero(t *testing.T) {
 	for _, dir := range []string{
 		"internal/lint/testdata/src/ctxflow",
 		"internal/lint/testdata/src/detrand/...",
+		"internal/lint/testdata/src/dettaint/...",
 		"internal/lint/testdata/src/errclose",
+		"internal/lint/testdata/src/fpreassoc/...",
+		"internal/lint/testdata/src/goleak",
 		"internal/lint/testdata/src/metricname",
 		"internal/lint/testdata/src/parbudget",
 		"internal/lint/testdata/src/seedarith",
+		"internal/lint/testdata/src/wirestrict",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			code, stdout, stderr := runCLI(t, dir)
@@ -90,12 +97,115 @@ func TestNoPatternsExitsTwo(t *testing.T) {
 	}
 }
 
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-sarif", "internal/lint/testdata/src/parbudget")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d; want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	if len(log.Runs[0].Results) == 0 || log.Runs[0].Results[0].RuleID != "parbudget" {
+		t.Fatalf("unexpected SARIF results: %+v", log.Runs[0].Results)
+	}
+}
+
+func TestMutuallyExclusiveFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-json", "-sarif", "internal/mathx"},
+		{"-fix", "-diff", "internal/mathx"},
+	} {
+		if code, _, stderr := runCLI(t, args...); code != 2 {
+			t.Errorf("%v: exit = %d, want 2 (stderr %q)", args, code, stderr)
+		}
+	}
+}
+
+func TestCacheWarmRunIdentical(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "lint.cache")
+	target := "internal/lint/testdata/src/seedarith"
+
+	codeCold, outCold, errCold := runCLI(t, "-cache", cachePath, target)
+	if codeCold != 1 {
+		t.Fatalf("cold exit = %d, want 1\nstderr:\n%s", codeCold, errCold)
+	}
+	if !strings.Contains(errCold, "miss(es)") {
+		t.Errorf("cold stderr missing cache stats: %q", errCold)
+	}
+
+	codeWarm, outWarm, errWarm := runCLI(t, "-cache", cachePath, target)
+	if codeWarm != 1 {
+		t.Fatalf("warm exit = %d, want 1\nstderr:\n%s", codeWarm, errWarm)
+	}
+	if outWarm != outCold {
+		t.Errorf("warm report differs from cold:\ncold:\n%s\nwarm:\n%s", outCold, outWarm)
+	}
+	if !strings.Contains(errWarm, "0 miss(es)") {
+		t.Errorf("warm stderr should report zero misses: %q", errWarm)
+	}
+}
+
+func TestDiffPreviewsWithoutWriting(t *testing.T) {
+	fixture := "internal/lint/testdata/src/seedarith"
+	abs := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "seedarith")
+	before := readTree(t, abs)
+
+	code, stdout, stderr := runCLI(t, "-diff", fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "mathx.DeriveSeed") {
+		t.Errorf("diff output missing the seedarith rewrite:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "previewed") {
+		t.Errorf("stderr missing preview summary: %q", stderr)
+	}
+	if after := readTree(t, abs); !reflect.DeepEqual(before, after) {
+		t.Error("-diff modified fixture sources on disk")
+	}
+}
+
+// readTree snapshots every file under dir for a before/after comparison.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	tree := make(map[string]string)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		tree[path] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", dir, err)
+	}
+	return tree
+}
+
 func TestListChecks(t *testing.T) {
 	code, stdout, _ := runCLI(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxflow", "detrand", "errclose", "metricname", "parbudget", "seedarith"} {
+	for _, name := range []string{
+		"ctxflow", "detrand", "dettaint", "errclose", "fpreassoc",
+		"goleak", "metricname", "parbudget", "seedarith", "wirestrict",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
 		}

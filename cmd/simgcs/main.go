@@ -105,6 +105,16 @@ func serveVehicle(addr string, seconds float64, seed int64) error {
 		}
 	}()
 
+	// The session loop is paced by the wall clock on purpose — this is an
+	// interactive link emulator, not a reproducible experiment; the seed
+	// above only shapes the sensor noise.
+	//areslint:ignore dettaint interactive session paced by wall clock; seed only shapes sensor noise
+	return runSession(ep, fw, seconds, readerDone)
+}
+
+// runSession drives the firmware at a live-link cadence until the
+// deadline passes, the GCS disconnects, or the vehicle crashes.
+func runSession(ep *mavlink.Endpoint, fw *firmware.Firmware, seconds float64, readerDone chan error) error {
 	ticker := time.NewTicker(100 * time.Millisecond) // 40 ticks per wake-up
 	defer ticker.Stop()
 	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))

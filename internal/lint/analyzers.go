@@ -6,10 +6,14 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		CtxFlow,
 		DetRand,
+		DetTaint,
 		ErrClose,
+		FPReassoc,
+		GoLeak,
 		MetricName,
 		ParBudget,
 		SeedArith,
+		WireStrict,
 	}
 }
 

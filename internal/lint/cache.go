@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ares-cps/ares/internal/campaign"
+	"github.com/ares-cps/ares/internal/par"
+)
+
+// The incremental lint cache. A package's report is a pure function of
+// three inputs — its own source bytes, the analyzer configuration, and
+// the propagated facts of its dependencies — so each package caches under
+//
+//	key = H(version ‖ config ‖ srcHash(pkg) ‖ factSig(dep) for each
+//	        module-internal dep, sorted by import path)
+//
+// where factSig(dep) is a hash of the dependency's propagated function
+// facts (flow.go). The fact signature, not the dependency's source hash,
+// is what enters the key: editing a helper's body in a way that leaves
+// its summary facts unchanged re-lints that one package and no
+// dependents.
+//
+// A warm run walks the module-internal import graph in topological order
+// using ImportsOnly parses (no type-checking), resolves each package's
+// key from its dependencies' signatures — known by then, from a cache
+// entry or from a fresh analysis — and only type-checks the misses.
+// Facts are a unique least fixpoint, so a report assembled from any mix
+// of cached and fresh packages is byte-identical to a cold run's.
+//
+// The cache is one JSON file. Any corruption — truncated write, garbage,
+// version skew — degrades to an empty cache and self-heals on save;
+// correctness never depends on cache state.
+
+// cacheVersion invalidates every entry when the analysis or the entry
+// format changes shape. Bump it whenever analyzer semantics move.
+const cacheVersion = "areslint-cache-v2"
+
+// A Cache is the on-disk memo of per-package lint results.
+type Cache struct {
+	// Path is the cache file location.
+	Path string
+	// Config folds the run configuration (active analyzer names) into
+	// every key.
+	Config string
+
+	entries map[string]cacheEntry
+}
+
+// cacheEntry is one package's memoized outcome.
+type cacheEntry struct {
+	// FactSig summarizes the package's propagated function facts for
+	// dependents' keys.
+	FactSig string `json:"fact_sig"`
+	// Analyzed records whether Diags is meaningful: dependencies enter
+	// the cache for their fact signature alone and must not satisfy a
+	// lookup that needs diagnostics.
+	Analyzed bool `json:"analyzed"`
+	// Diags is the package's sorted report (when Analyzed).
+	Diags []Diagnostic `json:"diags"`
+}
+
+// cacheFile is the serialized form.
+type cacheFile struct {
+	Version string                `json:"version"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// OpenCache loads the cache at path. A missing, unreadable, corrupt or
+// version-skewed file yields an empty cache — never an error: the cache
+// is an accelerator, and every failure mode degrades to a cold run.
+func OpenCache(path, config string) *Cache {
+	c := &Cache{Path: path, Config: config, entries: make(map[string]cacheEntry)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != cacheVersion {
+		return c
+	}
+	if f.Entries != nil {
+		c.entries = f.Entries
+	}
+	return c
+}
+
+// Save atomically persists the cache. Only entries touched by the run
+// that populated them are kept (Run rewrites the map), so the file stays
+// proportional to the module, not its history.
+func (c *Cache) Save() error {
+	f := cacheFile{Version: cacheVersion, Entries: c.entries}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(c.Path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return campaign.WriteFileAtomic(c.Path, append(data, '\n'), 0o644)
+}
+
+// CacheStats reports how a cached run split between memo and work.
+type CacheStats struct {
+	Hits   int // target packages answered from the cache
+	Misses int // target packages type-checked and analyzed
+}
+
+// scanned is the cheap (ImportsOnly) view of one package directory.
+type scanned struct {
+	dir     string
+	path    string   // import path
+	srcHash string   // hash of file names and contents
+	deps    []string // module-internal imports, sorted
+}
+
+// RunCached is Run with a package-level memo: targets resolve from
+// patterns exactly as Loader.Load does, hits come straight from the
+// cache, and only misses are loaded and analyzed. The returned report is
+// byte-identical to Run over the same targets.
+func RunCached(root string, patterns []string, analyzers []*Analyzer, workers int, c *Cache) ([]Diagnostic, CacheStats, error) {
+	var stats CacheStats
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, stats, err
+	}
+	targets, err := resolveDirs(loader, patterns)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Cheap scan of the targets' module-internal import closure: source
+	// hashes and dependency edges, no type-checking.
+	scans := make(map[string]*scanned) // import path → scan
+	var scan func(dir string) (*scanned, error)
+	scan = func(dir string) (*scanned, error) {
+		path, err := loader.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := scans[path]; ok {
+			return s, nil
+		}
+		s, err := scanDir(loader, dir, path)
+		if err != nil {
+			return nil, err
+		}
+		scans[path] = s
+		for _, dep := range s.deps {
+			rel := strings.TrimPrefix(strings.TrimPrefix(dep, loader.ModPath), "/")
+			if _, err := scan(filepath.Join(root, filepath.FromSlash(rel))); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	targetPaths := make([]string, 0, len(targets))
+	isTarget := make(map[string]bool)
+	for _, dir := range targets {
+		s, err := scan(dir)
+		if err != nil {
+			return nil, stats, err
+		}
+		targetPaths = append(targetPaths, s.path)
+		isTarget[s.path] = true
+	}
+
+	// Topological order over the scanned closure (imports are acyclic).
+	order := topoOrder(scans)
+
+	// Walk dependencies-first: every package's key is derivable from
+	// signatures already resolved. Misses load (which pulls their deps
+	// into the Program) and record their fresh signature.
+	prog := NewProgram(nil)
+	factSigs := make(map[string]string)
+	keys := make(map[string]string)
+	fresh := make(map[string]cacheEntry)
+	var missTargets []*Package
+	missIdx := make(map[string]int)
+	for _, path := range order {
+		s := scans[path]
+		key := cacheKey(c.Config, s, factSigs)
+		keys[path] = key
+		entry, hit := c.entries[key]
+		if hit && (!isTarget[path] || entry.Analyzed) {
+			factSigs[path] = entry.FactSig
+			fresh[key] = entry
+			if isTarget[path] {
+				stats.Hits++
+			}
+			continue
+		}
+		pkg, err := loader.loadDir(s.dir, s.path)
+		if err != nil {
+			return nil, stats, err
+		}
+		prog.Add(pkg)
+		sig := factSig(prog, pkg)
+		factSigs[path] = sig
+		if isTarget[path] {
+			stats.Misses++
+			missIdx[path] = len(missTargets)
+			missTargets = append(missTargets, pkg)
+		} else {
+			fresh[key] = cacheEntry{FactSig: sig}
+		}
+	}
+
+	// Analyze the missing targets in parallel — same harness as Run.
+	perPkg := make([][]Diagnostic, len(missTargets))
+	par.Do(workers, len(missTargets), func(i int) {
+		perPkg[i] = runPackage(missTargets[i], analyzers, prog)
+	})
+	for i, pkg := range missTargets {
+		sortDiagnostics(perPkg[i])
+		fresh[keys[pkg.Path]] = cacheEntry{
+			FactSig:  factSigs[pkg.Path],
+			Analyzed: true,
+			Diags:    append([]Diagnostic{}, perPkg[i]...),
+		}
+	}
+	c.entries = fresh
+
+	// Assemble the report in target order, then the canonical sort — the
+	// same shape Run produces.
+	var all []Diagnostic
+	for _, path := range targetPaths {
+		if i, ok := missIdx[path]; ok {
+			all = append(all, perPkg[i]...)
+		} else {
+			all = append(all, fresh[keys[path]].Diags...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, stats, nil
+}
+
+// resolveDirs expands patterns into package directories with Loader.Load
+// semantics, without loading anything.
+func resolveDirs(l *Loader, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := l.absDir(strings.TrimSuffix(rest, string(filepath.Separator)))
+			if base == "" {
+				base = l.Root
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := l.absDir(pat)
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("lint: no non-test Go files in %s", pat)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// scanDir hashes one directory's sources and extracts its module-internal
+// imports with an ImportsOnly parse.
+func scanDir(l *Loader, dir, path string) (*scanned, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	depSet := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(src))
+		h.Write(src)
+		f, err := parser.ParseFile(fset, full, src, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == l.ModPath || strings.HasPrefix(ip, l.ModPath+"/") {
+				depSet[ip] = true
+			}
+		}
+	}
+	s := &scanned{dir: dir, path: path, srcHash: hex.EncodeToString(h.Sum(nil))}
+	for dep := range depSet {
+		s.deps = append(s.deps, dep)
+	}
+	sort.Strings(s.deps)
+	return s, nil
+}
+
+// topoOrder sorts the scanned closure dependencies-first, ties broken by
+// import path so the walk is deterministic.
+func topoOrder(scans map[string]*scanned) []string {
+	paths := make([]string, 0, len(scans))
+	for p := range scans {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := make(map[string]int) // 0 new, 1 visiting, 2 done
+	var visit func(p string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, dep := range scans[p].deps {
+			if _, ok := scans[dep]; ok {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// cacheKey derives one package's key from the run config, its source
+// hash, and its dependencies' fact signatures.
+func cacheKey(config string, s *scanned, factSigs map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00", cacheVersion, config, s.path, s.srcHash)
+	for _, dep := range s.deps {
+		fmt.Fprintf(h, "%s\x00%s\x00", dep, factSigs[dep])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// factSig hashes a package's propagated function facts — the projection
+// of the package dependents can observe through the Program.
+func factSig(pr *Program, pkg *Package) string {
+	type row struct {
+		name string
+		f    Facts
+		w    wireFacts
+	}
+	var rows []row
+	for fn, fi := range pr.info {
+		if fi.Pkg == pkg {
+			rows = append(rows, row{fn.FullName(), pr.facts[fn], pr.wire[fn]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	h := sha256.New()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%s\x00%d\x00%v\x00", r.name, r.f, r.w)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sortDiagnostics applies the canonical report order: file, line, column,
+// check, message.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

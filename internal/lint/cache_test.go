@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// cacheModule is a two-package module: core (the lint target) calls into
+// base. The detrand finding in core keeps the target's report non-empty.
+func cacheModule() map[string]string {
+	return map[string]string{
+		"base/base.go": `package base
+
+// Stamp returns a fixed epoch.
+func Stamp() int64 { return 42 }
+`,
+		"core/core.go": `package core
+
+import (
+	"time"
+
+	"fixture.test/base"
+)
+
+func derive(seed int64) int64 {
+	return seed ^ base.Stamp()
+}
+
+func now() int64 {
+	return time.Now().UnixNano()
+}
+`,
+	}
+}
+
+// runCachedModule runs RunCached over a module with a fresh-opened cache
+// at path.
+func runCachedModule(t *testing.T, root, path, config string, patterns ...string) ([]Diagnostic, CacheStats, *Cache) {
+	t.Helper()
+	c := OpenCache(path, config)
+	diags, stats, err := RunCached(root, patterns, All(), 0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, stats, c
+}
+
+func TestCachedRunMatchesUncachedAndWarmRunIsIdentical(t *testing.T) {
+	root := writeModule(t, cacheModule())
+	cachePath := filepath.Join(t.TempDir(), "lint.cache")
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached := Run(pkgs, All(), 0)
+	if len(uncached) == 0 {
+		t.Fatal("fixture must produce findings")
+	}
+
+	cold, coldStats, c := runCachedModule(t, root, cachePath, "all", "core")
+	if coldStats.Hits != 0 || coldStats.Misses != 1 {
+		t.Errorf("cold stats = %+v, want 0 hits / 1 miss", coldStats)
+	}
+	if !reflect.DeepEqual(cold, uncached) {
+		t.Errorf("cached cold run differs from Run:\ncached: %v\nuncached: %v", cold, uncached)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, warmStats, _ := runCachedModule(t, root, cachePath, "all", "core")
+	if warmStats.Hits != 1 || warmStats.Misses != 0 {
+		t.Errorf("warm stats = %+v, want 1 hit / 0 misses", warmStats)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Errorf("warm run differs from cold:\nwarm: %v\ncold: %v", warm, cold)
+	}
+}
+
+func TestCacheInvalidatesOnSourceChange(t *testing.T) {
+	files := cacheModule()
+	root := writeModule(t, files)
+	cachePath := filepath.Join(t.TempDir(), "lint.cache")
+
+	cold, _, c := runCachedModule(t, root, cachePath, "all", "core")
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Add a second violation to the target package.
+	edited := files["core/core.go"] + `
+func later() int64 {
+	return time.Now().UnixNano()
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "core", "core.go"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, stats, _ := runCachedModule(t, root, cachePath, "all", "core")
+	if stats.Misses != 1 {
+		t.Errorf("stats after source edit = %+v, want the target re-analyzed", stats)
+	}
+	if len(diags) <= len(cold) {
+		t.Errorf("edited source must add a finding: before %d, after %d", len(cold), len(diags))
+	}
+}
+
+func TestCacheInvalidatesOnConfigChange(t *testing.T) {
+	root := writeModule(t, cacheModule())
+	cachePath := filepath.Join(t.TempDir(), "lint.cache")
+
+	_, _, c := runCachedModule(t, root, cachePath, "detrand,dettaint", "core")
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, _ := runCachedModule(t, root, cachePath, "detrand", "core")
+	if stats.Hits != 0 || stats.Misses != 1 {
+		t.Errorf("stats under a different config = %+v, want a full miss", stats)
+	}
+}
+
+func TestCacheInvalidatesOnDependencyFactChange(t *testing.T) {
+	files := cacheModule()
+	root := writeModule(t, files)
+	cachePath := filepath.Join(t.TempDir(), "lint.cache")
+	basePath := filepath.Join(root, "base", "base.go")
+
+	cold, _, c := runCachedModule(t, root, cachePath, "all", "core")
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range cold {
+		if d.Check == "dettaint" {
+			t.Fatalf("pure base must not trip dettaint yet: %s", d)
+		}
+	}
+
+	// A comment-only edit to the dependency changes its source hash but
+	// not its fact signature: the target stays cached.
+	if err := os.WriteFile(basePath, []byte(`package base
+
+// Stamp returns a fixed epoch. (Comment edited; facts unchanged.)
+func Stamp() int64 { return 42 }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, c2 := runCachedModule(t, root, cachePath, "all", "core")
+	if stats.Hits != 1 || stats.Misses != 0 {
+		t.Errorf("stats after comment-only dep edit = %+v, want the target to stay cached", stats)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Errorf("report changed across a fact-preserving dep edit:\n%v\n%v", warm, cold)
+	}
+	if err := c2.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Making the dependency nondeterministic changes its fact signature:
+	// the target re-analyzes and its seeded caller now trips dettaint.
+	if err := os.WriteFile(basePath, []byte(`package base
+
+import "time"
+
+// Stamp now reaches the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, stats2, _ := runCachedModule(t, root, cachePath, "all", "core")
+	if stats2.Misses != 1 {
+		t.Errorf("stats after fact-changing dep edit = %+v, want the target re-analyzed", stats2)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Check == "dettaint" && d.File == "core/core.go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dependency fact change must surface the dettaint finding in the target; got %v", diags)
+	}
+}
+
+func TestCorruptCacheSelfHeals(t *testing.T) {
+	root := writeModule(t, cacheModule())
+	cachePath := filepath.Join(t.TempDir(), "lint.cache")
+
+	cold, _, c := runCachedModule(t, root, cachePath, "all", "core")
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, garbage := range map[string]string{
+		"truncated":    `{"version": "areslint-cache-v2", "entries": {`,
+		"not-json":     "\x00\x01not a cache",
+		"version-skew": `{"version": "areslint-cache-v0", "entries": {}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(cachePath, []byte(garbage), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			diags, stats, c := runCachedModule(t, root, cachePath, "all", "core")
+			if stats.Hits != 0 || stats.Misses != 1 {
+				t.Errorf("corrupt cache must degrade to a cold run, stats = %+v", stats)
+			}
+			if !reflect.DeepEqual(diags, cold) {
+				t.Errorf("report under a corrupt cache differs:\n%v\n%v", diags, cold)
+			}
+			// Saving heals the file: the next run is warm again.
+			if err := c.Save(); err != nil {
+				t.Fatal(err)
+			}
+			_, healed, _ := runCachedModule(t, root, cachePath, "all", "core")
+			if healed.Hits != 1 || healed.Misses != 0 {
+				t.Errorf("cache did not self-heal after save, stats = %+v", healed)
+			}
+		})
+	}
+}
+
+func TestCachedRunDeterministicAcrossWorkers(t *testing.T) {
+	root := writeModule(t, cacheModule())
+	var base []Diagnostic
+	for i, workers := range []int{1, 2, 8} {
+		c := OpenCache(filepath.Join(t.TempDir(), "lint.cache"), "all")
+		got, _, err := RunCached(root, []string{"core", "base"}, All(), workers, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: cached report not deterministic", workers)
+		}
+	}
+}
+
+// BenchmarkLintColdVsWarm measures the incremental cache's effect over
+// the analyzer fixture tree: cold type-checks every package, warm
+// answers from fact-keyed entries after an ImportsOnly scan.
+func BenchmarkLintColdVsWarm(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := []string{"internal/lint/testdata/src/..."}
+	analyzers := All()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := OpenCache(filepath.Join(b.TempDir(), "lint.cache"), "all")
+			if _, _, err := RunCached(root, patterns, analyzers, 0, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "lint.cache")
+		c := OpenCache(path, "all")
+		if _, _, err := RunCached(root, patterns, analyzers, 0, c); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Save(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := OpenCache(path, "all")
+			if _, _, err := RunCached(root, patterns, analyzers, 0, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetTaint is the interprocedural deepening of detrand: it tracks values
+// derived from nondeterminism sources — time.Now, global math/rand,
+// random map-iteration order — through helper calls (summary facts over
+// the module call graph, see flow.go) and reports where they reach the
+// campaign artifact surface: a campaign.Record, a record sink's Append,
+// SortedBytes input, or an atomically finalized artifact. detrand stops
+// at a package boundary; dettaint catches the time.Now three calls deep
+// in another package whose result lands in a record field, which would
+// silently break the byte-identical-store contract the dist equivalence
+// suites enforce.
+//
+// It also enforces seeded purity: a function that receives a seed
+// parameter promises to be a deterministic function of it, so calling
+// anything that transitively reaches a nondeterminism source from such a
+// function is reported even when the source is packages away.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc:  "no nondeterministic values flowing through helpers into campaign records, sinks or SortedBytes; seeded functions stay pure",
+	Run:  runDetTaint,
+}
+
+func runDetTaint(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := p.Prog.InfoFor(fn)
+			if fi == nil {
+				continue
+			}
+			checkRecordSinks(p, fi)
+			if p.Prog.FactsFor(fn)&FactReceivesSeed != 0 {
+				checkSeededPurity(p, fi)
+			}
+		}
+	}
+}
+
+// checkRecordSinks runs the value-taint analysis over one function and
+// reports taint reaching the campaign artifact surface.
+func checkRecordSinks(p *Pass, fi *FuncInfo) {
+	tt := newTaint(p.Prog, fi)
+	tt.run()
+	if len(tt.tainted) == 0 && !hasNondetCalls(p, fi) {
+		return
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !isCampaignRecordType(p.Pkg.Info.TypeOf(n)) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if tt.exprTainted(val) {
+					p.Reportf(val.Pos(), "nondeterministic value reaches a campaign.Record — record bytes must be a pure function of the spec (trace the taint through %s)", taintOrigin(p, tt, val))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !isCampaignRecordType(p.Pkg.Info.TypeOf(sel.X)) {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if tt.exprTainted(rhs) {
+					p.Reportf(rhs.Pos(), "nondeterministic value assigned to campaign.Record.%s — record bytes must be a pure function of the spec", sel.Sel.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if !isRecordSinkCall(p, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if tt.exprTainted(arg) {
+					p.Reportf(arg.Pos(), "nondeterministic value flows into %s — the artifact store must be byte-identical across runs and worker counts", sinkName(p, n))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSeededPurity reports calls from a seeded function to anything
+// that transitively reaches a nondeterminism source.
+func checkSeededPurity(p *Pass, fi *FuncInfo) {
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := staticCallee(p.Pkg, call)
+		if !ok {
+			return true
+		}
+		if isNondetSource(fn) {
+			p.Reportf(call.Pos(), "%s.%s in a function that receives a seed — seeded functions must be pure functions of their seed", fn.Pkg().Name(), fn.Name())
+			return true
+		}
+		if p.Prog.FactsFor(fn)&FactReachesNondet != 0 {
+			p.Reportf(call.Pos(), "call to %s reaches a nondeterminism source (time.Now or global math/rand) from a function that receives a seed — seeded paths must be pure functions of their seed", calleeLabel(fn))
+		}
+		return true
+	})
+}
+
+// hasNondetCalls reports whether the function calls any nondeterminism
+// source or nondet-returning callee — the cheap pre-filter before the
+// sink walk.
+func hasNondetCalls(p *Pass, fi *FuncInfo) bool {
+	for _, callee := range fi.Callees {
+		if isNondetSource(callee) || p.Prog.FactsFor(callee)&FactReturnsNondet != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// isCampaignRecordType reports whether t is the campaign Record type (a
+// named struct called Record in a package whose path ends in /campaign —
+// the segment rule keeps fixtures under testdata working).
+func isCampaignRecordType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Record" && isCampaignPkg(named.Obj().Pkg().Path())
+}
+
+// isCampaignPkg matches the real internal/campaign package and fixture
+// packages whose path ends in /campaign.
+func isCampaignPkg(path string) bool {
+	return pathHasSegment(path, "internal/campaign") || lastSegment(path) == "campaign"
+}
+
+// isRecordSinkCall reports whether call hands data to the campaign
+// artifact surface: SortedBytes or WriteFileAtomic in a campaign
+// package, or an Append method on a type (or interface) declared in one.
+func isRecordSinkCall(p *Pass, call *ast.CallExpr) bool {
+	fn, ok := staticCallee(p.Pkg, call)
+	if !ok || fn.Pkg() == nil || !isCampaignPkg(fn.Pkg().Path()) {
+		return false
+	}
+	switch fn.Name() {
+	case "SortedBytes", "WriteFileAtomic", "Append":
+		return true
+	}
+	return false
+}
+
+// sinkName renders a sink call for the message.
+func sinkName(p *Pass, call *ast.CallExpr) string {
+	if fn, ok := staticCallee(p.Pkg, call); ok {
+		return "campaign." + fn.Name()
+	}
+	return "a campaign sink"
+}
+
+// calleeLabel renders pkg.Func or pkg.Type.Method for messages.
+func calleeLabel(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// taintOrigin names the first tainted identifier or nondet call inside e
+// for the message, so the report points at the helper chain to follow.
+func taintOrigin(p *Pass, tt *taint, e ast.Expr) string {
+	origin := "this expression"
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[n]; obj != nil && tt.tainted[obj] {
+				origin = n.Name
+				return false
+			}
+		case *ast.CallExpr:
+			if fn, ok := staticCallee(p.Pkg, n); ok {
+				if isNondetSource(fn) || p.Prog.FactsFor(fn)&FactReturnsNondet != 0 {
+					origin = calleeLabel(fn)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return origin
+}

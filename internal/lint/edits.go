@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// Shared helpers for analyzers that build SuggestedFix edits: byte-offset
+// conversion, source slicing and import insertion.
+
+// editAt builds a TextEdit replacing the source range [start, end) with
+// newText. Start == end inserts.
+func (p *Pass) editAt(start, end token.Pos, newText string) (TextEdit, bool) {
+	s := p.Pkg.Fset.Position(start)
+	e := p.Pkg.Fset.Position(end)
+	if s.Filename != e.Filename {
+		return TextEdit{}, false
+	}
+	if src, ok := p.Pkg.Src[s.Filename]; !ok || e.Offset > len(src) || s.Offset > e.Offset {
+		return TextEdit{}, false
+	}
+	return TextEdit{File: s.Filename, Start: s.Offset, End: e.Offset, NewText: newText}, true
+}
+
+// srcText returns the literal source text of [start, end).
+func (p *Pass) srcText(start, end token.Pos) (string, bool) {
+	s := p.Pkg.Fset.Position(start)
+	e := p.Pkg.Fset.Position(end)
+	if s.Filename != e.Filename {
+		return "", false
+	}
+	src, ok := p.Pkg.Src[s.Filename]
+	if !ok || e.Offset > len(src) || s.Offset > e.Offset {
+		return "", false
+	}
+	return string(src[s.Offset:e.Offset]), true
+}
+
+// ensureImport returns the edit that adds path to the import block of the
+// file containing pos. ok is true with a zero edit when the import is
+// already present; false when no edit can be built (no parenthesized
+// import block to extend).
+func (p *Pass) ensureImport(pos token.Pos, path string) (TextEdit, bool) {
+	file := p.fileContaining(pos)
+	if file == nil {
+		return TextEdit{}, false
+	}
+	for _, imp := range file.Imports {
+		if ip, err := strconv.Unquote(imp.Path.Value); err == nil && ip == path {
+			return TextEdit{}, true // already imported: nothing to add
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Rparen.IsValid() || len(gd.Specs) == 0 {
+			continue
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		position := p.Pkg.Fset.Position(last.End())
+		return TextEdit{
+			File:    position.Filename,
+			Start:   position.Offset,
+			End:     position.Offset,
+			NewText: "\n\t" + strconv.Quote(path),
+		}, true
+	}
+	return TextEdit{}, false
+}
+
+// fileContaining returns the package file whose range covers pos.
+func (p *Pass) fileContaining(pos token.Pos) *ast.File {
+	for _, f := range p.Pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -82,9 +83,11 @@ func checkDiscardedCloses(p *Pass, body *ast.BlockStmt) {
 	// greppable acknowledgement and is allowed.
 	ast.Inspect(body, func(n ast.Node) bool {
 		var call *ast.CallExpr
+		fixable := false // a bare statement can take `_ = `; a defer cannot
 		switch n := n.(type) {
 		case *ast.ExprStmt:
 			call, _ = unparen(n.X).(*ast.CallExpr)
+			fixable = true
 		case *ast.DeferStmt:
 			call = n.Call
 		default:
@@ -108,8 +111,17 @@ func checkDiscardedCloses(p *Pass, body *ast.BlockStmt) {
 		if !returnsError(p.Pkg.Info.Uses[sel.Sel]) {
 			return true
 		}
-		p.Reportf(call.Pos(), "%s.%s() error discarded on a file opened for writing — check it (write errors can surface only at %s; use campaign.WriteFileAtomic for must-not-tear artifacts, or `_ = %s.%s()` on best-effort error paths)",
-			root.Name, name, name, root.Name, name)
+		var fix *SuggestedFix
+		if fixable {
+			if edit, ok := p.editAt(call.Pos(), call.Pos(), "_ = "); ok {
+				fix = &SuggestedFix{
+					Message: "acknowledge the discard explicitly with `_ = " + root.Name + "." + name + "()`",
+					Edits:   []TextEdit{edit},
+				}
+			}
+		}
+		p.ReportFix(call.Pos(), fix, fmt.Sprintf("%s.%s() error discarded on a file opened for writing — check it (write errors can surface only at %s; use campaign.WriteFileAtomic for must-not-tear artifacts, or `_ = %s.%s()` on best-effort error paths)",
+			root.Name, name, name, root.Name, name))
 		return true
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -105,7 +106,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatalf("workers=%d: %d findings, want %d", workers, len(got), len(base))
 		}
 		for i := range got {
-			if got[i] != base[i] {
+			if !reflect.DeepEqual(got[i], base[i]) {
 				t.Errorf("workers=%d: finding %d = %+v, want %+v", workers, i, got[i], base[i])
 			}
 		}

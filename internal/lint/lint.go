@@ -28,7 +28,6 @@ import (
 	"go/ast"
 	"go/token"
 	"io"
-	"sort"
 	"strings"
 
 	"github.com/ares-cps/ares/internal/par"
@@ -52,29 +51,57 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the parsed, type-checked package under analysis.
 	Pkg *Package
+	// Prog is the interprocedural view (call graph + propagated
+	// function facts) over the analysis targets and their module-internal
+	// dependency closure. Read-only and shared across passes.
+	Prog *Program
 
 	report func(Diagnostic)
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, fmt.Sprintf(format, args...))
+}
+
+// ReportFix records a finding at pos carrying an optional suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, message string) {
 	position := p.Pkg.Fset.Position(pos)
 	p.report(Diagnostic{
 		Check:   p.Analyzer.Name,
 		File:    position.Filename,
 		Line:    position.Line,
 		Col:     position.Column,
-		Message: fmt.Sprintf(format, args...),
+		Message: message,
+		Fix:     fix,
 	})
+}
+
+// A TextEdit replaces the byte range [Start, End) of File (module-root-
+// relative, as diagnostics print it) with NewText. Start == End inserts.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// A SuggestedFix is a mechanical remediation for one diagnostic:
+// non-overlapping byte edits `areslint -fix` can apply atomically (and
+// `-diff` can preview).
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
 }
 
 // A Diagnostic is one finding, positioned so editors can jump to it.
 type Diagnostic struct {
-	Check   string `json:"check"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Check   string        `json:"check"`
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Col     int           `json:"col"`
+	Message string        `json:"message"`
+	Fix     *SuggestedFix `json:"fix,omitempty"`
 }
 
 // String renders the canonical single-line form.
@@ -148,42 +175,33 @@ func suppressed(d Diagnostic, igs []ignore) bool {
 // message. Suppressed findings are dropped; malformed ignore markers are
 // reported under the reserved check name "areslint".
 func Run(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	// The interprocedural fact layer is computed once, sequentially, over
+	// the targets and their module-internal dependency closure; the
+	// resulting Program is frozen and shared read-only by the parallel
+	// per-package passes.
+	prog := NewProgram(pkgs)
 	perPkg := make([][]Diagnostic, len(pkgs))
 	par.Do(workers, len(pkgs), func(i int) {
-		perPkg[i] = runPackage(pkgs[i], analyzers)
+		perPkg[i] = runPackage(pkgs[i], analyzers, prog)
 	})
 	var all []Diagnostic
 	for _, ds := range perPkg {
 		all = append(all, ds...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		if a.Check != b.Check {
-			return a.Check < b.Check
-		}
-		return a.Message < b.Message
-	})
+	sortDiagnostics(all)
 	return all
 }
 
 // runPackage applies all analyzers to one package and filters
 // suppressions.
-func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+func runPackage(pkg *Package, analyzers []*Analyzer, prog *Program) []Diagnostic {
 	igs, bad := parseIgnores(pkg)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
 			Pkg:      pkg,
+			Prog:     prog,
 			report: func(d Diagnostic) {
 				if !suppressed(d, igs) {
 					diags = append(diags, d)

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -21,6 +22,8 @@ type Package struct {
 	Path string
 	// Dir is the absolute directory the package was loaded from.
 	Dir string
+	// ModPath is the module path of the enclosing module (go.mod).
+	ModPath string
 	// Fset is the file set shared by every package in the loader.
 	Fset *token.FileSet
 	// Files are the parsed non-test source files, in filename order.
@@ -28,6 +31,14 @@ type Package struct {
 	// enforces are production contracts, and tests legitimately use
 	// wall-clock deadlines and ad-hoc seeds.
 	Files []*ast.File
+	// Src holds each file's source bytes keyed by its display name (the
+	// module-root-relative path diagnostics use). The fix engine slices
+	// these to build byte-offset edits.
+	Src map[string][]byte
+	// Imports maps module-internal import paths to their loaded packages,
+	// so interprocedural analysis can walk the dependency closure without
+	// re-resolving through the loader.
+	Imports map[string]*Package
 	// Types and Info carry the go/types results for the package.
 	Types *types.Package
 	Info  *types.Info
@@ -119,50 +130,10 @@ func modulePath(gomod string) (string, error) {
 // directory with no non-test Go files is skipped (wildcard) or an error
 // (explicit).
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	var dirs []string
-	seen := make(map[string]bool)
-	add := func(dir string) {
-		if !seen[dir] {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
+	dirs, err := resolveDirs(l, patterns)
+	if err != nil {
+		return nil, err
 	}
-	for _, pat := range patterns {
-		if rest, ok := strings.CutSuffix(pat, "..."); ok {
-			base := l.absDir(strings.TrimSuffix(rest, string(filepath.Separator)))
-			if base == "" {
-				base = l.Root
-			}
-			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-				if err != nil {
-					return err
-				}
-				if !d.IsDir() {
-					return nil
-				}
-				name := d.Name()
-				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-					name == "testdata" || name == "vendor") {
-					return filepath.SkipDir
-				}
-				if hasGoFiles(path) {
-					add(path)
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		dir := l.absDir(pat)
-		if !hasGoFiles(dir) {
-			return nil, fmt.Errorf("lint: no non-test Go files in %s", pat)
-		}
-		add(dir)
-	}
-	sort.Strings(dirs)
-
 	pkgs := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		path, err := l.importPathFor(dir)
@@ -251,6 +222,7 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	sort.Strings(names)
 
 	files := make([]*ast.File, 0, len(names))
+	srcs := make(map[string][]byte, len(names))
 	for _, name := range names {
 		full := filepath.Join(dir, name)
 		display := full
@@ -266,6 +238,7 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 			return nil, err
 		}
 		files = append(files, f)
+		srcs[display] = src
 	}
 
 	info := &types.Info{
@@ -281,7 +254,27 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
 	}
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{
+		Path: path, Dir: dir, ModPath: l.ModPath, Fset: l.fset,
+		Files: files, Src: srcs, Types: tpkg, Info: info,
+		Imports: make(map[string]*Package),
+	}
+	// Link module-internal imports to their loaded packages. Type-checking
+	// above already forced them through ImportFrom, so every one is
+	// memoized in l.pkgs.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == l.ModPath || strings.HasPrefix(ip, l.ModPath+"/") {
+				if dep, ok := l.pkgs[ip]; ok {
+					pkg.Imports[ip] = dep
+				}
+			}
+		}
+	}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

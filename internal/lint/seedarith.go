@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -33,11 +34,43 @@ func runSeedArith(p *Pass) {
 			if !ok {
 				continue
 			}
-			p.Reportf(be.Pos(), "ad-hoc seed arithmetic on %s — use mathx.DeriveSeed(base, stream) so streams cannot collide across base seeds", name)
+			p.ReportFix(be.Pos(), deriveSeedFix(p, be),
+				fmt.Sprintf("ad-hoc seed arithmetic on %s — use mathx.DeriveSeed(base, stream) so streams cannot collide across base seeds", name))
 			return true // one finding per expression
 		}
 		return true
 	})
+}
+
+// deriveSeedFix rewrites `base + stream` into mathx.DeriveSeed(base,
+// stream), adding the import when missing. Subtraction has no DeriveSeed
+// analogue (the stream sign matters to the caller), so only ADD is
+// fixable.
+func deriveSeedFix(p *Pass, be *ast.BinaryExpr) *SuggestedFix {
+	if be.Op != token.ADD {
+		return nil
+	}
+	xText, okX := p.srcText(be.X.Pos(), be.X.End())
+	yText, okY := p.srcText(be.Y.Pos(), be.Y.End())
+	if !okX || !okY {
+		return nil
+	}
+	repl, ok := p.editAt(be.Pos(), be.End(), "mathx.DeriveSeed("+xText+", "+yText+")")
+	if !ok {
+		return nil
+	}
+	fix := &SuggestedFix{
+		Message: "replace with mathx.DeriveSeed(" + xText + ", " + yText + ")",
+		Edits:   []TextEdit{repl},
+	}
+	imp, ok := p.ensureImport(be.Pos(), p.Pkg.ModPath+"/internal/mathx")
+	if !ok {
+		return nil // no import block to extend: the rewrite would not compile
+	}
+	if imp != (TextEdit{}) {
+		fix.Edits = append(fix.Edits, imp)
+	}
+	return fix
 }
 
 // seedName reports whether e is an identifier or selector whose name is

@@ -1,0 +1,38 @@
+// Package campaign is a minimal double of internal/campaign for the
+// dettaint fixture: the Record type and artifact sinks the analyzer
+// treats as the byte-identical store surface.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is one campaign artifact row.
+type Record struct {
+	Name  string
+	Value float64
+	Stamp int64
+}
+
+// Store collects records.
+type Store struct {
+	recs []Record
+}
+
+// Append adds one record to the store.
+func (s *Store) Append(r Record) error {
+	s.recs = append(s.recs, r)
+	return nil
+}
+
+// SortedBytes renders records in canonical order.
+func SortedBytes(recs []Record) []byte {
+	lines := make([]string, 0, len(recs))
+	for _, r := range recs {
+		lines = append(lines, fmt.Sprintf("%s %g %d", r.Name, r.Value, r.Stamp))
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}

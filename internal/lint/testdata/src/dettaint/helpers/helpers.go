@@ -1,0 +1,22 @@
+// Package helpers buries nondeterminism one call away from the code
+// dettaint inspects: the analyzer must see through these summaries.
+package helpers
+
+import "time"
+
+// StampNow returns a wall-clock stamp — a nondeterminism source.
+func StampNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter mixes the wall clock into a caller-supplied value, so its
+// result carries nondeterminism without naming time anywhere at the
+// call site.
+func Jitter(base int64) int64 {
+	return base ^ StampNow()
+}
+
+// Mix is a pure helper — calls to it must not be flagged.
+func Mix(a, b int64) int64 {
+	return a*31 ^ b
+}

@@ -1,0 +1,44 @@
+// Package runner is the dettaint fixture proper: nondeterministic
+// values reaching the campaign artifact surface through helper calls,
+// and impure seeded functions.
+package runner
+
+import (
+	"github.com/ares-cps/ares/internal/lint/testdata/src/dettaint/campaign"
+	"github.com/ares-cps/ares/internal/lint/testdata/src/dettaint/helpers"
+)
+
+// Bad: a helper-buried time.Now lands in a Record field — the taint
+// crosses two packages before reaching the sink.
+func buildRecord(name string) campaign.Record {
+	stamp := helpers.StampNow()
+	return campaign.Record{Name: name, Stamp: stamp}
+}
+
+// Bad: nondeterminism two hops deep (Jitter → StampNow → time.Now)
+// assigned to a record field.
+func stampRecord(r *campaign.Record, base int64) {
+	r.Stamp = helpers.Jitter(base)
+}
+
+// Bad: a tainted value flows into a store sink argument.
+func appendJittered(st *campaign.Store, base int64) error {
+	v := helpers.Jitter(base)
+	return st.Append(campaign.Record{Value: float64(v)})
+}
+
+// Bad: a seeded function calls into a helper that reaches the wall
+// clock — the output is no longer a pure function of the seed.
+func deriveStream(seed int64) int64 {
+	return helpers.Jitter(seed)
+}
+
+// Good: pure helper calls and seed-independent constants are fine.
+func buildPure(name string, seed int64) campaign.Record {
+	return campaign.Record{Name: name, Stamp: helpers.Mix(seed, 17)}
+}
+
+// Good: a pure function of its seed.
+func pureStream(seed int64) int64 {
+	return helpers.Mix(seed, 0x9e3779b9)
+}

@@ -1,0 +1,74 @@
+// Package stats is the fpreassoc fixture: float reductions must not
+// fold in scheduler-dependent order. Worker closures write disjoint
+// slots; one deterministic loop does the summing.
+package stats
+
+import "github.com/ares-cps/ares/internal/par"
+
+// addInto accumulates through a float pointer — safe sequentially,
+// a reduction-order hazard when called from concurrent workers with a
+// shared target.
+func addInto(dst *float64, x float64) {
+	*dst += x
+}
+
+// Bad: a captured scalar accumulated from every worker — the sum
+// depends on the schedule.
+func sumShared(xs []float64, workers int) float64 {
+	var sum float64
+	par.Do(workers, len(xs), func(i int) {
+		sum += xs[i]
+	})
+	return sum
+}
+
+// Bad: the same hazard hidden behind a helper that accumulates through
+// its pointer parameter.
+func sumViaHelper(xs []float64, workers int) float64 {
+	var sum float64
+	par.Chunks(workers, len(xs), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			addInto(&sum, xs[i])
+		}
+	})
+	return sum
+}
+
+// Bad: accumulating while ranging over a channel — arrival order is
+// whatever the scheduler produced.
+func sumFromChannel(ch chan float64) float64 {
+	var total float64
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Good: per-index slots, folded in one deterministic pass.
+func sumSlots(xs []float64, workers int) float64 {
+	out := make([]float64, len(xs))
+	par.Do(workers, len(xs), func(i int) {
+		out[i] = xs[i] * xs[i]
+	})
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// Good: per-worker partials indexed by the worker ID, then a
+// deterministic fold.
+func sumPartials(xs []float64, workers int) float64 {
+	partial := make([]float64, workers)
+	par.Chunks(workers, len(xs), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[w] += xs[i]
+		}
+	})
+	var sum float64
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}

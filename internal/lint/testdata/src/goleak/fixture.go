@@ -1,0 +1,73 @@
+// Package goleak is an areslint fixture: every goroutine must be
+// cancellable or awaitable — directly, through a value it was handed, or
+// through a transitive callee.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// spin is pure CPU work with no lifecycle anywhere in its closure.
+func spin() {
+	n := 0
+	for i := 0; i < 1_000_000; i++ {
+		n += i
+	}
+	_ = n
+}
+
+// pump drains a channel — a callee-level lifecycle.
+func pump(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// watch observes a context.
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Bad: a literal that never observes anything cancellable.
+func leakLiteral() {
+	go func() {
+		spin()
+	}()
+}
+
+// Bad: a named callee with no lifecycle in its transitive closure.
+func leakNamed() {
+	go spin()
+}
+
+// Good: the goroutine is handed a channel — the spawner can join it.
+func joinedByArg(ch chan int) {
+	go func(out chan int) {
+		out <- 1
+	}(ch)
+}
+
+// Good: the spawned callee ranges over a channel (interprocedural:
+// the lifecycle is in pump, not at the go statement).
+func joinedViaCallee(ch chan int) {
+	go func() {
+		_ = pump(ch)
+	}()
+}
+
+// Good: a named callee whose body observes a context.
+func cancellable(ctx context.Context) {
+	go watch(ctx)
+}
+
+// Good: WaitGroup-registered work.
+func awaited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spin()
+	}()
+}

@@ -1,0 +1,94 @@
+// Package wirestrict is an areslint fixture: JSON decodes on wire
+// boundaries must disallow unknown fields, reject trailing data and sit
+// behind a size cap — directly or inside the helper the body is handed
+// to.
+package wirestrict
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+type spec struct {
+	Name  string `json:"name"`
+	Trial int    `json:"trial"`
+}
+
+const maxSpecBytes = 1 << 20
+
+// Bad: bare decoder on a request body — lenient, unbounded, trailing
+// data ignored.
+func handleLoose(w http.ResponseWriter, r *http.Request) {
+	var s spec
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&s); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// Bad: strict and trailing-checked, but nothing bounds the read.
+func handleUncapped(w http.ResponseWriter, r *http.Request) {
+	var s spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if dec.More() {
+		http.Error(w, "trailing data", http.StatusBadRequest)
+	}
+}
+
+// Bad: the body is forwarded into a helper that decodes it leniently —
+// the violation is one call away from the boundary.
+func handleForwarded(w http.ResponseWriter, r *http.Request) {
+	var s spec
+	if err := decodeLoose(r.Body, &s); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// decodeLoose decodes its reader without any of the three guarantees.
+func decodeLoose(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// Good: capped, strict, trailing-checked — the internal/dist/wire.go
+// shape.
+func handleStrict(w http.ResponseWriter, r *http.Request) {
+	var s spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if dec.More() {
+		http.Error(w, "trailing data", http.StatusBadRequest)
+	}
+}
+
+// Good: the helper carries all three guarantees, so handing it a body
+// is fine.
+func handleViaStrictHelper(w http.ResponseWriter, r *http.Request) {
+	var s spec
+	if err := decodeStrict(r.Body, &s); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// decodeStrict is the strict-decode convention in helper form.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
